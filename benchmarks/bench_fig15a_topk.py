@@ -1,0 +1,53 @@
+"""Figure 15(a): top-K execution time per decomposition.
+
+The paper compares the XKeyword, MinClust, MinNClustIndx and Complete
+decompositions for top-K queries (DBLP, two keywords, Z = 8, M = 6,
+B = 2, L = 2) and reports, for growing K:
+
+* clustered decompositions beat the non-clustered minimal
+  (``MinNClustNIndx`` is an order of magnitude worse still and is
+  omitted from the plot, exactly as in the paper — our suite measures
+  it once as a sanity row);
+* ``Complete`` is *slower* than ``MinClust``/``XKeyword`` despite
+  needing fewer joins, because its MVD fragments return far more rows
+  per probe.
+
+Candidate-network generation and planning are identical across the
+physical variants, so they run outside the timer (``prepared_searches``)
+and the benchmark isolates execution — the quantity Figure 15(a) varies.
+
+Run:  pytest benchmarks/bench_fig15a_topk.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+
+KS = (1, 5, 10, 20)
+
+
+def run_topk(decomposition_name: str, k: int) -> int:
+    total = 0
+    for prepared in common.prepared_searches(decomposition_name, max_size=8):
+        total += common.execute_prepared(prepared, k)
+    return total
+
+
+@pytest.mark.parametrize("k", KS)
+@pytest.mark.parametrize("decomposition", common.TOPK_DECOMPOSITIONS)
+def test_fig15a_topk(benchmark, decomposition, k):
+    benchmark.group = f"fig15a-top{k:02d}"
+    benchmark.name = decomposition
+    produced = benchmark(run_topk, decomposition, k)
+    assert produced > 0
+
+
+def test_fig15a_nonclustered_sanity(benchmark):
+    """MinNClustNIndx at K=1 only: full scans per probe (the paper drops
+    it from the plot because it is an order of magnitude worse)."""
+    benchmark.group = "fig15a-top01"
+    benchmark.name = "MinNClustNIndx"
+    produced = benchmark(run_topk, "MinNClustNIndx", 1)
+    assert produced > 0

@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration: warm the shared database once."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common  # noqa: E402
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_database():
+    """Build the shared data set before any timing starts."""
+    common.bench_database()
+    yield

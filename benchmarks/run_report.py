@@ -1,0 +1,248 @@
+"""Regenerate every paper figure as a printed table, in one run.
+
+``pytest benchmarks/ --benchmark-only`` gives statistically robust
+timings; this script complements it by printing the *series* exactly the
+way the paper's figures plot them (one row per x-axis point, one column
+per curve), so paper-vs-measured comparison is direct.
+
+Run:  python benchmarks/run_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import common
+from repro.baselines import BanksSearcher
+from repro.core import CTSSNExecutor, ExecutorConfig, OnDemandNavigator, XKeyword
+from repro.decomposition import FragmentClass, classify_fragment
+from repro.schema import dblp_catalog
+from repro.storage import Database, RelationStore
+
+
+def timed(callable_, repeats: int = 3) -> float:
+    """Median wall-clock seconds over a few repeats."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        callable_()
+        samples.append(time.perf_counter() - started)
+    return statistics.median(samples)
+
+
+def table(title: str, header: list[str], rows: list[list[str]]) -> None:
+    print(f"\n## {title}")
+    widths = [
+        max(len(str(row[i])) for row in [header] + rows) for i in range(len(header))
+    ]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  " + "  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fig15a(repeats: int) -> None:
+    ks = (1, 5, 10, 20)
+    names = list(common.TOPK_DECOMPOSITIONS) + ["MinNClustNIndx"]
+    rows = []
+    for k in ks:
+        row = [str(k)]
+        for name in names:
+            prepared = common.prepared_searches(name, max_size=8)
+            seconds = timed(
+                lambda: [common.execute_prepared(p, k) for p in prepared], repeats
+            )
+            row.append(f"{seconds * 1000:.1f}")
+        rows.append(row)
+    table(
+        "Figure 15(a) - top-K execution time (ms) per decomposition",
+        ["K"] + names,
+        rows,
+    )
+
+
+def fig15b(repeats: int) -> None:
+    sizes = (2, 3, 4)
+    names = list(common.ALL_RESULT_DECOMPOSITIONS)
+    rows = []
+    for size in sizes:
+        row = [str(size)]
+        for name in names:
+            hash_join = name == "MinNClustNIndx"
+            prepared = common.prepared_searches(
+                name, max_size=size + 2, hash_join=hash_join
+            )
+            seconds = timed(
+                lambda: [
+                    common.execute_prepared(p, None, hash_join=hash_join)
+                    for p in prepared
+                ],
+                repeats,
+            )
+            row.append(f"{seconds * 1000:.1f}")
+        rows.append(row)
+    table(
+        "Figure 15(b) - all-results time (ms) by max CTSSN size",
+        ["size"] + names,
+        rows,
+    )
+
+
+def fig16a(repeats: int, latency: float) -> None:
+    sizes = (2, 3, 4)
+    rows = []
+    database = common.bench_database().database
+    for size in sizes:
+        prepared = common.prepared_searches("MinClust", max_size=size + 2)
+
+        def run(use_cache: bool) -> None:
+            for p in prepared:
+                common.execute_prepared(p, None, use_cache=use_cache)
+
+        raw_cached = timed(lambda: run(True), repeats)
+        raw_naive = timed(lambda: run(False), repeats)
+        database.simulated_latency = latency
+        try:
+            lat_cached = timed(lambda: run(True), 1)
+            lat_naive = timed(lambda: run(False), 1)
+        finally:
+            database.simulated_latency = 0.0
+        rows.append(
+            [
+                str(size),
+                f"{raw_naive / raw_cached:.2f}",
+                f"{lat_naive / lat_cached:.2f}",
+            ]
+        )
+    table(
+        f"Figure 16(a) - caching speedup (naive / optimized), "
+        f"round trip = {latency * 1000:.1f} ms",
+        ["max CTSSN size", "in-process speedup", "with-round-trips speedup"],
+        rows,
+    )
+
+
+def fig16b(repeats: int, latency: float) -> None:
+    import bench_fig16b_expansion as fig
+
+    sizes = (2, 3, 4)
+    database = common.bench_database().database
+    rows = []
+    for size in sizes:
+        row = [str(size)]
+        for variant in ("inlined", "minimal", "combination"):
+            database.simulated_latency = latency
+            try:
+                samples = []
+                for _ in range(repeats):
+                    navigator = None
+                    database.simulated_latency = 0.0
+                    navigator = fig.build_navigator(variant, size)
+                    database.simulated_latency = latency
+                    started = time.perf_counter()
+                    fig.expand_paper(navigator)
+                    samples.append(time.perf_counter() - started)
+                row.append(f"{statistics.median(samples) * 1000:.0f}")
+            finally:
+                database.simulated_latency = 0.0
+        rows.append(row)
+    table(
+        f"Figure 16(b) - expansion time (ms) of a Paper node, "
+        f"round trip = {latency * 1000:.1f} ms",
+        ["CTSSN size", "inlined", "minimal", "combination"],
+        rows,
+    )
+
+
+def space_report() -> None:
+    catalog = dblp_catalog()
+    loaded = common.bench_database()
+    rows = []
+    for decomposition in common.build_decompositions():
+        database = Database()
+        store = RelationStore(database, decomposition)
+        store.create()
+        started = time.perf_counter()
+        counts = store.load(loaded.to_graph)
+        seconds = time.perf_counter() - started
+        mvd = sum(
+            1
+            for fragment in decomposition.fragments
+            if classify_fragment(fragment, catalog.tss).fragment_class
+            is FragmentClass.MVD
+        )
+        rows.append(
+            [
+                decomposition.name,
+                str(len(decomposition.fragments)),
+                str(mvd),
+                str(sum(counts.values())),
+                f"{seconds:.2f}",
+            ]
+        )
+        database.close()
+    table(
+        "Ablation E5 - decomposition space and load cost",
+        ["decomposition", "fragments", "MVD", "rows", "load s"],
+        rows,
+    )
+
+
+def baselines_report(repeats: int) -> None:
+    graph = common.bench_graph()
+    banks = BanksSearcher(graph)
+    rows = []
+    prepared = common.prepared_searches("XKeyword", max_size=8)
+    xk_seconds = timed(lambda: [common.execute_prepared(p, 10) for p in prepared], repeats)
+    queries = common.bench_queries(max_size=8)
+    bk_seconds = timed(
+        lambda: [banks.search(list(q.keywords), k=10, max_size=8) for q in queries],
+        repeats,
+    )
+    engine = common.engine_for("MinClust")
+    agreement = all(
+        engine.search(q, k=1, parallel=False).mttons[0].score
+        == banks.search(list(q.keywords), k=1, max_size=8)[0].score
+        for q in queries
+    )
+    rows.append(["XKeyword top-10", f"{xk_seconds * 1000:.1f}", "-"])
+    rows.append(
+        ["BANKS top-10 (data graph)", f"{bk_seconds * 1000:.1f}", str(agreement)]
+    )
+    table(
+        "Ablation E7 - XKeyword vs BANKS (same queries)",
+        ["system", "ms", "best-score agreement"],
+        rows,
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", action="store_true", help="1 repeat per point")
+    parser.add_argument("--latency", type=float, default=0.0003)
+    args = parser.parse_args()
+    repeats = 1 if args.quick else 3
+
+    print("building the shared benchmark database (once)...")
+    started = time.perf_counter()
+    loaded = common.bench_database()
+    print(
+        f"  {loaded.report.target_objects} target objects, "
+        f"{loaded.report.edge_instances} TSS-edge instances "
+        f"({time.perf_counter() - started:.1f} s)"
+    )
+    fig15a(repeats)
+    fig15b(repeats)
+    fig16a(repeats, args.latency)
+    fig16b(repeats, args.latency)
+    space_report()
+    baselines_report(repeats)
+
+
+if __name__ == "__main__":
+    main()

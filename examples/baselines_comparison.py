@@ -1,0 +1,73 @@
+"""XKeyword vs the Section 2 baselines on one data set.
+
+Runs the same two-keyword query through:
+
+* **XKeyword** (schema-aware, connection relations in SQLite),
+* **BANKS-style** Steiner search on the raw data graph ([6]),
+* **Goldman et al.** Find/Near proximity ranking ([12]),
+
+and reports result quality (best connection size) plus work done.
+
+Run:  python examples/baselines_comparison.py
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro import KeywordQuery, XKeyword, dblp_catalog, load_database, minimal_decomposition
+from repro.baselines import BanksSearcher, ProximitySearcher
+from repro.workloads import DBLPConfig, author_keywords, generate_dblp
+
+
+def main() -> None:
+    catalog = dblp_catalog()
+    graph = generate_dblp(DBLPConfig(papers=300, authors=100, avg_citations=5.0, seed=12))
+    loaded = load_database(graph, catalog, [minimal_decomposition(catalog.tss)])
+    engine = XKeyword(loaded)
+    keywords = author_keywords(graph, random.Random(5), 2)
+    query = KeywordQuery(tuple(keywords), max_size=6)
+    print(f"data: {graph.node_count} nodes / {graph.edge_count} edges")
+    print(f"query: {query}\n")
+
+    started = time.perf_counter()
+    xkeyword = engine.search(query, k=10)
+    xkeyword_seconds = time.perf_counter() - started
+    best_xkeyword = xkeyword.mttons[0].score if xkeyword.mttons else None
+    print(
+        f"XKeyword : best score {best_xkeyword}, {len(xkeyword.mttons)} results, "
+        f"{xkeyword.metrics.queries_sent} focused queries, "
+        f"{xkeyword_seconds * 1000:.1f} ms"
+    )
+
+    started = time.perf_counter()
+    banks = BanksSearcher(graph)
+    trees = banks.search(list(query.keywords), k=10, max_size=query.max_size)
+    banks_seconds = time.perf_counter() - started
+    best_banks = trees[0].score if trees else None
+    print(
+        f"BANKS    : best score {best_banks}, {len(trees)} trees, "
+        f"whole data graph traversed, {banks_seconds * 1000:.1f} ms"
+    )
+
+    started = time.perf_counter()
+    proximity = ProximitySearcher(graph, max_radius=query.max_size)
+    ranked = proximity.rank(query.keywords[0], query.keywords[1], limit=10)
+    proximity_seconds = time.perf_counter() - started
+    print(
+        f"Goldman  : {len(ranked)} Find objects ranked by bond to Near set, "
+        f"best distance {ranked[0].distance if ranked else None}, "
+        f"{proximity_seconds * 1000:.1f} ms"
+    )
+
+    if best_xkeyword is not None and best_banks is not None:
+        print(
+            f"\nagreement: the minimum connection size is {best_xkeyword} for "
+            f"both tree-based systems — XKeyword finds it via the schema, "
+            "BANKS by brute-force graph expansion."
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""XKeyword: keyword proximity search on XML graphs.
+
+Reproduction of Hristidis, Papakonstantinou, Balmin — "Keyword Proximity
+Search on XML Graphs", ICDE 2003.
+
+Quickstart::
+
+    from repro import quick_engine, KeywordQuery
+
+    engine = quick_engine("dblp")
+    result = engine.search(KeywordQuery.of("smith", "chen", max_size=8), k=10)
+    for mtton in result.mttons:
+        print(mtton.describe())
+"""
+
+from .core import (
+    CTSSN,
+    CandidateNetwork,
+    ExecutorConfig,
+    KeywordQuery,
+    MTTON,
+    SearchResult,
+    XKeyword,
+)
+from .decomposition import (
+    Decomposition,
+    IndexPolicy,
+    combined_decomposition,
+    minimal_decomposition,
+    xkeyword_decomposition,
+)
+from .schema import Catalog, dblp_catalog, get_catalog, tpch_catalog, xmark_catalog
+from .storage import Database, LoadedDatabase, load_database
+from .xmlgraph import XMLGraph, parse_xml
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CTSSN",
+    "CandidateNetwork",
+    "Catalog",
+    "Database",
+    "Decomposition",
+    "ExecutorConfig",
+    "IndexPolicy",
+    "KeywordQuery",
+    "LoadedDatabase",
+    "MTTON",
+    "SearchResult",
+    "XKeyword",
+    "XMLGraph",
+    "combined_decomposition",
+    "dblp_catalog",
+    "get_catalog",
+    "load_database",
+    "minimal_decomposition",
+    "parse_xml",
+    "quick_engine",
+    "tpch_catalog",
+    "xkeyword_decomposition",
+]
+
+
+def quick_engine(catalog_name: str = "dblp", seed: int = 7) -> XKeyword:
+    """Build a small in-memory engine over synthetic data in one call."""
+    from .workloads import (
+        DBLPConfig,
+        TPCHConfig,
+        XMarkConfig,
+        generate_dblp,
+        generate_tpch,
+        generate_xmark,
+    )
+
+    catalog = get_catalog(catalog_name)
+    if catalog_name == "dblp":
+        graph = generate_dblp(DBLPConfig(seed=seed))
+    elif catalog_name == "xmark":
+        graph = generate_xmark(XMarkConfig(seed=seed))
+    else:
+        graph = generate_tpch(TPCHConfig(seed=seed))
+    loaded = load_database(graph, catalog, [minimal_decomposition(catalog.tss)])
+    return XKeyword(loaded)

@@ -1,0 +1,15 @@
+"""Baselines the paper compares against (Section 2), plus the
+Definition 3.1 reference evaluator used for end-to-end validation."""
+
+from .banks import BanksSearcher, SteinerTree
+from .exhaustive import ExhaustiveSearcher, ReferenceMTNN
+from .proximity import ProximitySearcher, RankedObject
+
+__all__ = [
+    "BanksSearcher",
+    "ExhaustiveSearcher",
+    "ProximitySearcher",
+    "RankedObject",
+    "ReferenceMTNN",
+    "SteinerTree",
+]

@@ -1,0 +1,141 @@
+"""BANKS-style keyword search on the data graph (paper Section 2, [6]).
+
+Bhalotia et al.'s BANKS answers keyword queries by searching for Steiner
+trees directly on the *data* graph — no schema, no precomputed
+connection relations.  The paper contrasts XKeyword with this approach:
+working on the data graph is expensive because the graph is huge and the
+schema's pruning power is ignored.
+
+We implement the classic *distinct-root* approximation: breadth-first
+expansion from every keyword's node set; any node reached from all
+keywords roots a connection tree whose weight is the sum of its root-to-
+keyword path lengths.  Trees are emitted best-first and deduplicated by
+their node sets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from ..storage.master_index import tokenize
+from ..xmlgraph.model import XMLGraph
+
+
+@dataclass(frozen=True)
+class SteinerTree:
+    """One BANKS result: a tree connecting all keywords."""
+
+    root: str
+    nodes: frozenset[str]
+    edges: frozenset[tuple[str, str]]
+    keyword_leaves: tuple[tuple[str, str], ...]
+    """(keyword, node) pairs the tree connects."""
+
+    @property
+    def score(self) -> int:
+        """Tree size in edges — comparable to MTNN scores."""
+        return len(self.edges)
+
+
+class BanksSearcher:
+    """Backward-expanding keyword search over an XML data graph."""
+
+    def __init__(self, graph: XMLGraph, index_tags: bool = False) -> None:
+        self.graph = graph
+        self._adjacency: dict[str, list[str]] = {}
+        for node in graph.nodes():
+            neighbors = [
+                neighbor.node_id for neighbor, _ in graph.neighbors(node.node_id)
+            ]
+            self._adjacency[node.node_id] = neighbors
+        self._keyword_nodes: dict[str, set[str]] = {}
+        for node in graph.nodes():
+            tokens: set[str] = set()
+            if node.value:
+                tokens.update(tokenize(node.value))
+            if index_tags:
+                tokens.update(tokenize(node.label))
+            for token in tokens:
+                self._keyword_nodes.setdefault(token, set()).add(node.node_id)
+
+    def keyword_nodes(self, keyword: str) -> set[str]:
+        return set(self._keyword_nodes.get(keyword.lower(), ()))
+
+    # ------------------------------------------------------------------
+    def _bfs(self, sources: set[str], radius: int) -> dict[str, tuple[int, str | None]]:
+        """Multi-source BFS: node -> (distance, parent toward a source)."""
+        state: dict[str, tuple[int, str | None]] = {s: (0, None) for s in sources}
+        frontier = sorted(sources)
+        distance = 0
+        while frontier and distance < radius:
+            distance += 1
+            next_frontier = []
+            for node in frontier:
+                for neighbor in self._adjacency.get(node, ()):
+                    if neighbor not in state:
+                        state[neighbor] = (distance, node)
+                        next_frontier.append(neighbor)
+            frontier = next_frontier
+        return state
+
+    def search(
+        self, keywords: list[str], k: int = 10, max_size: int = 8
+    ) -> list[SteinerTree]:
+        """Top-k connection trees of size up to ``max_size``."""
+        keyword_list = [keyword.lower() for keyword in keywords]
+        source_sets = []
+        for keyword in keyword_list:
+            sources = self.keyword_nodes(keyword)
+            if not sources:
+                return []
+            source_sets.append(sources)
+        searches = [self._bfs(sources, max_size) for sources in source_sets]
+
+        heap: list[tuple[int, str]] = []
+        for node in self._adjacency:
+            if all(node in search for search in searches):
+                total = sum(search[node][0] for search in searches)
+                if total <= max_size:
+                    heapq.heappush(heap, (total, node))
+
+        results: list[SteinerTree] = []
+        seen: set[frozenset[str]] = set()
+        while heap and len(results) < k:
+            total, root = heapq.heappop(heap)
+            tree = self._materialize(root, keyword_list, searches)
+            if tree is None or tree.score > max_size:
+                continue
+            if tree.nodes in seen:
+                continue
+            seen.add(tree.nodes)
+            results.append(tree)
+        results.sort(key=lambda tree: (tree.score, tree.root))
+        return results
+
+    def _materialize(
+        self,
+        root: str,
+        keywords: list[str],
+        searches: list[dict[str, tuple[int, str | None]]],
+    ) -> SteinerTree | None:
+        nodes: set[str] = {root}
+        edges: set[tuple[str, str]] = set()
+        leaves: list[tuple[str, str]] = []
+        for keyword, search in zip(keywords, searches):
+            cursor = root
+            while True:
+                _, parent = search[cursor]
+                if parent is None:
+                    break
+                edge = (min(cursor, parent), max(cursor, parent))
+                edges.add(edge)
+                nodes.add(parent)
+                cursor = parent
+            leaves.append((keyword, cursor))
+        return SteinerTree(
+            root=root,
+            nodes=frozenset(nodes),
+            edges=frozenset(edges),
+            keyword_leaves=tuple(leaves),
+        )

@@ -1,0 +1,264 @@
+"""Command-line interface: generate data, search, and inspect pipelines.
+
+Usage::
+
+    python -m repro generate --catalog dblp --out dblp.xml --papers 300
+    python -m repro search --catalog dblp --xml dblp.xml "smith chen" -k 10
+    python -m repro search --catalog dblp --demo "smith" -k 5
+    python -m repro explain --catalog dblp --demo "smith chen"
+
+``search`` loads the XML into an in-memory SQLite database (the load
+stage), runs the keyword query, and prints ranked MTTONs with their
+semantically annotated connections.  ``explain`` stops after planning
+and prints the candidate networks and execution plans instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .core import KeywordQuery, XKeyword
+from .decomposition import (
+    combined_decomposition,
+    minimal_decomposition,
+    xkeyword_decomposition,
+)
+from .schema import Catalog, get_catalog
+from .storage import LoadedDatabase, load_database
+from .workloads import DBLPConfig, TPCHConfig, generate_dblp, generate_tpch
+from .xmlgraph import ParseOptions, parse_xml, serialize_graph
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XKeyword: keyword proximity search on XML graphs (ICDE 2003)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="emit a synthetic XML document")
+    generate.add_argument("--catalog", choices=("dblp", "tpch", "xmark"), default="dblp")
+    generate.add_argument("--out", default="-", help="output path or - for stdout")
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--papers", type=int, default=200, help="dblp only")
+    generate.add_argument("--authors", type=int, default=80, help="dblp only")
+    generate.add_argument("--citations", type=float, default=5.0, help="dblp only")
+    generate.add_argument("--persons", type=int, default=20, help="tpch only")
+
+    for name, help_text in (
+        ("search", "run a keyword query and print ranked results"),
+        ("explain", "print candidate networks and plans without executing"),
+        ("navigate", "drive a presentation graph (interactive or --script)"),
+    ):
+        sub = commands.add_parser(name, help=help_text)
+        sub.add_argument("keywords", help="space-separated keywords, quoted")
+        sub.add_argument("--catalog", choices=("dblp", "tpch", "xmark"), default="dblp")
+        source = sub.add_mutually_exclusive_group(required=True)
+        source.add_argument("--xml", help="XML document to load")
+        source.add_argument(
+            "--demo", action="store_true", help="use built-in synthetic data"
+        )
+        sub.add_argument("-k", type=int, default=10, help="top-k cutoff")
+        sub.add_argument("-z", "--max-size", type=int, default=8, dest="max_size")
+        sub.add_argument(
+            "--decomposition",
+            choices=("minimal", "xkeyword", "combined"),
+            default="minimal",
+        )
+        sub.add_argument("--all", action="store_true", help="list every result")
+        sub.add_argument("--seed", type=int, default=7)
+        if name == "navigate":
+            sub.add_argument(
+                "--cn",
+                type=int,
+                default=-1,
+                help="candidate-network index (default: first with results)",
+            )
+            sub.add_argument(
+                "--script",
+                help="semicolon-separated commands, e.g. "
+                "'expand 1; dot; contract 1 p11; quit'",
+            )
+    return parser
+
+
+def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
+    catalog = get_catalog(args.catalog)
+    if args.xml:
+        with open(args.xml) as handle:
+            graph = parse_xml(handle.read(), ParseOptions(drop_root=True))
+    elif args.catalog == "dblp":
+        graph = generate_dblp(DBLPConfig(seed=args.seed))
+    elif args.catalog == "xmark":
+        from .workloads import XMarkConfig, generate_xmark
+
+        graph = generate_xmark(XMarkConfig(seed=args.seed))
+    else:
+        graph = generate_tpch(TPCHConfig(seed=args.seed))
+    if args.decomposition == "minimal":
+        decompositions = [minimal_decomposition(catalog.tss)]
+    elif args.decomposition == "xkeyword":
+        decompositions = [xkeyword_decomposition(catalog.tss, 4, 1)]
+    else:
+        decompositions = [combined_decomposition(catalog.tss, 4, 1)]
+    return catalog, load_database(graph, catalog, decompositions)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.catalog == "dblp":
+        graph = generate_dblp(
+            DBLPConfig(
+                papers=args.papers,
+                authors=args.authors,
+                avg_citations=args.citations,
+                seed=args.seed,
+            )
+        )
+    elif args.catalog == "xmark":
+        from .workloads import XMarkConfig, generate_xmark
+
+        graph = generate_xmark(XMarkConfig(persons=args.persons, seed=args.seed))
+    else:
+        graph = generate_tpch(TPCHConfig(persons=args.persons, seed=args.seed))
+    text = serialize_graph(graph)
+    if args.out == "-":
+        print(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {graph.node_count} nodes to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    catalog, loaded = _load(args)
+    engine = XKeyword(loaded)
+    query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
+    started = time.perf_counter()
+    if args.all:
+        result = engine.search_all(query)
+    else:
+        result = engine.search(query, k=args.k)
+    elapsed = time.perf_counter() - started
+    print(
+        f"{len(result.mttons)} result(s) from "
+        f"{len(result.candidate_networks)} candidate network(s) in "
+        f"{elapsed * 1000:.1f} ms "
+        f"({result.metrics.queries_sent} focused queries)"
+    )
+    for rank, mtton in enumerate(result.mttons, start=1):
+        labels = mtton.ctssn.network.labels
+        nodes = " + ".join(f"{labels[role]}:{to}" for role, to in mtton.assignment)
+        print(f"#{rank} score={mtton.score}  {nodes}")
+        for edge in mtton.edges:
+            label = edge.forward_label or edge.edge_id
+            print(f"    {edge.source_to} --{label}--> {edge.target_to}")
+    return 0 if result.mttons else 1
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    catalog, loaded = _load(args)
+    engine = XKeyword(loaded)
+    query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
+    containing = engine.containing_lists(query)
+    for keyword in query.keywords:
+        count = len(containing.keyword_tos[keyword])
+        nodes = ", ".join(sorted(containing.keyword_schema_nodes[keyword]))
+        print(f"keyword {keyword!r}: {count} target objects via [{nodes}]")
+    ctssns = engine.candidate_tss_networks(query, containing)
+    print(f"\n{len(ctssns)} candidate TSS networks (Z={query.max_size}):")
+    for ctssn in ctssns:
+        print(f"\n  [{ctssn.score}] {ctssn}")
+        plan = engine.plan(ctssn, containing)
+        for line in plan.describe().splitlines()[1:]:
+            print(f"  {line}")
+    return 0
+
+
+def _cmd_navigate(args: argparse.Namespace) -> int:
+    from .core import OnDemandNavigator
+
+    catalog, loaded = _load(args)
+    engine = XKeyword(loaded)
+    query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
+    containing = engine.containing_lists(query)
+    ctssns = engine.candidate_tss_networks(query, containing)
+    if not ctssns:
+        print("no candidate networks")
+        return 1
+    candidates = sorted(ctssns, key=lambda c: (c.score, c.canonical_key))
+    if args.cn >= 0:
+        candidates = [candidates[min(args.cn, len(candidates) - 1)]]
+    navigator = graph = None
+    for ctssn in candidates:
+        attempt = OnDemandNavigator(
+            ctssn, engine.optimizer, engine.stores, containing
+        )
+        try:
+            graph = attempt.initialize()
+            navigator = attempt
+            break
+        except LookupError:
+            continue
+    if navigator is None or graph is None:
+        print("no candidate network has results")
+        return 1
+    print(f"candidate network: {navigator.ctssn}")
+    print(graph.describe())
+
+    def commands():
+        if args.script:
+            yield from (c.strip() for c in args.script.split(";") if c.strip())
+        else:  # pragma: no cover - interactive
+            while True:
+                try:
+                    yield input("navigate> ").strip()
+                except EOFError:
+                    return
+
+    for command in commands():
+        parts = command.split()
+        if not parts:
+            continue
+        action = parts[0]
+        if action in ("quit", "exit", "q"):
+            break
+        try:
+            if action == "expand" and len(parts) == 2:
+                added = navigator.expand(int(parts[1]))
+                print(f"+{len(added)} nodes")
+                print(graph.describe())
+            elif action == "contract" and len(parts) == 3:
+                hidden = navigator.contract(int(parts[1]), parts[2])
+                print(f"-{len(hidden)} nodes")
+                print(graph.describe())
+            elif action == "dot":
+                print(graph.to_dot(catalog.tss))
+            elif action == "metrics":
+                print(navigator.metrics)
+            else:
+                print(
+                    "commands: expand <role> | contract <role> <to> | "
+                    "dot | metrics | quit"
+                )
+        except (ValueError, KeyError) as exc:
+            print(f"error: {exc}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "generate": _cmd_generate,
+        "search": _cmd_search,
+        "explain": _cmd_explain,
+        "navigate": _cmd_navigate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

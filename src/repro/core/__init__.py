@@ -1,0 +1,57 @@
+"""The paper's primary contribution: the XKeyword query pipeline."""
+
+from .cn_generator import CandidateNetwork, CNGenerator, schema_edge_id
+from .ctssn import (
+    CTSSN,
+    ReductionError,
+    WitnessConstraint,
+    max_ctssn_size,
+    reduce_to_ctssn,
+)
+from .engine import SearchResult, XKeyword
+from .execution import (
+    CTSSNExecutor,
+    ExecutionMetrics,
+    ExecutorConfig,
+    ResultCache,
+    ResultRow,
+)
+from .expansion import OnDemandNavigator
+from .matching import ContainingLists
+from .optimizer import Optimizer, PlanningError
+from .plans import ExecutionPlan, PlanStep
+from .presentation import DisplayNode, PresentationGraph
+from .query import KeywordQuery
+from .results import MTNN, MTTON, MTTONEdge, materialize, node_network
+
+__all__ = [
+    "CNGenerator",
+    "CTSSN",
+    "CTSSNExecutor",
+    "CandidateNetwork",
+    "ContainingLists",
+    "ExecutionMetrics",
+    "ExecutionPlan",
+    "ExecutorConfig",
+    "KeywordQuery",
+    "MTNN",
+    "MTTON",
+    "MTTONEdge",
+    "OnDemandNavigator",
+    "Optimizer",
+    "PresentationGraph",
+    "DisplayNode",
+    "PlanStep",
+    "PlanningError",
+    "ReductionError",
+    "ResultCache",
+    "ResultRow",
+    "SearchResult",
+    "WitnessConstraint",
+    "XKeyword",
+    "materialize",
+    "max_ctssn_size",
+    "node_network",
+    "reduce_to_ctssn",
+    "schema_edge_id",
+]

@@ -1,0 +1,324 @@
+"""Reducing candidate networks to candidate TSS networks (Sections 4-5).
+
+Connection relations store only target-object ids, so every candidate
+network is reduced to its unique **candidate TSS network** (CTSSN): the
+CN's schema roles are grouped into target objects (merging intra-TSS
+containment structure like ``paper -> title``), dummy schema roles are
+contracted into the TSS edges whose schema paths they realize, and
+keyword annotations are carried over as ``(keyword, schema node)`` pairs
+per TSS role — the paper's notation ``T_{k,S}``.
+
+The module also provides the size-association function ``f`` (paper
+equation (1)): ``M = f(Z)`` bounds the CTSSN size induced by CNs of size
+up to ``Z``, which parameterizes the decomposition algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from ..decomposition.fragments import NetEdge, TSSNetwork
+from ..schema.graph import SchemaGraph
+from ..schema.tss import TSSGraph
+from .cn_generator import CandidateNetwork
+
+
+class ReductionError(Exception):
+    """Raised when a CN cannot be expressed over the TSS graph."""
+
+
+@dataclass(frozen=True)
+class WitnessConstraint:
+    """One CN role's keyword obligation, carried into a TSS role.
+
+    A constraint demands a *witness node*: an XML node of type
+    ``schema_node`` inside the target object whose query-keyword set is
+    exactly ``keywords`` (DISCOVER's exact-subset semantics, which is
+    what makes the result set duplication-free).  Distinct constraints on
+    one TSS role come from distinct CN roles and need distinct witnesses.
+    """
+
+    schema_node: str
+    keywords: frozenset[str]
+
+    def sort_key(self) -> tuple[str, str]:
+        return (self.schema_node, ",".join(sorted(self.keywords)))
+
+    def __str__(self) -> str:
+        return f"{self.schema_node}^{{{','.join(sorted(self.keywords))}}}"
+
+
+@dataclass(frozen=True)
+class CTSSN:
+    """A candidate TSS network with keyword annotations and CN provenance."""
+
+    network: TSSNetwork
+    annotations: tuple[tuple[WitnessConstraint, ...], ...]
+    cn: CandidateNetwork
+
+    @property
+    def score(self) -> int:
+        """Results of this CTSSN all score the CN's size in schema edges."""
+        return self.cn.size
+
+    @property
+    def size(self) -> int:
+        """Size in TSS edges (what joins and coverage are measured in)."""
+        return self.network.size
+
+    @cached_property
+    def canonical_key(self) -> str:
+        extra = tuple(
+            "^" + ";".join(str(c) for c in sorted(constraints, key=lambda c: c.sort_key()))
+            if constraints
+            else ""
+            for constraints in self.annotations
+        )
+        return self.network.canonical_key(extra)
+
+    def keyword_roles(self) -> list[tuple[int, tuple[WitnessConstraint, ...]]]:
+        return [
+            (role, constraints)
+            for role, constraints in enumerate(self.annotations)
+            if constraints
+        ]
+
+    def keywords_of_role(self, role: int) -> frozenset[str]:
+        keywords: frozenset[str] = frozenset()
+        for constraint in self.annotations[role]:
+            keywords |= constraint.keywords
+        return keywords
+
+    def __str__(self) -> str:
+        parts = []
+        for role, label in enumerate(self.network.labels):
+            constraints = self.annotations[role]
+            if constraints:
+                tags = ",".join(sorted(self.keywords_of_role(role)))
+                parts.append(f"{label}^{{{tags}}}")
+            else:
+                parts.append(label)
+        return " | ".join(parts) + f" :: {self.network}"
+
+
+def reduce_to_ctssn(cn: CandidateNetwork, tss_graph: TSSGraph) -> CTSSN:
+    """Reduce one candidate network to its candidate TSS network."""
+    schema = tss_graph.schema
+    network = cn.network
+    count = network.role_count
+
+    # Group CN roles into target objects: union-find over intra-TSS
+    # containment edges (both endpoints mapped to the same TSS).
+    parent = list(range(count))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def is_intra(edge: NetEdge) -> bool:
+        if "~" in edge.edge_id:
+            return False  # reference edges never merge target objects
+        source_tss = tss_graph.tss_of(network.labels[edge.source])
+        target_tss = tss_graph.tss_of(network.labels[edge.target])
+        return source_tss is not None and source_tss == target_tss
+
+    for edge in network.edges:
+        if is_intra(edge):
+            parent[find(edge.source)] = find(edge.target)
+
+    groups: dict[int, int] = {}
+    tss_of_group: dict[int, str | None] = {}
+    for role in range(count):
+        root = find(role)
+        if root not in groups:
+            groups[root] = len(groups)
+            tss_of_group[groups[root]] = tss_graph.tss_of(network.labels[root])
+        group = groups[root]
+        role_tss = tss_graph.tss_of(network.labels[role])
+        if role_tss != tss_of_group[group]:  # pragma: no cover - defensive
+            raise ReductionError("merged roles disagree on their TSS")
+
+    group_of_role = {role: groups[find(role)] for role in range(count)}
+    group_edges: dict[int, list[tuple[NetEdge, int, int]]] = {g: [] for g in range(len(groups))}
+    for edge in network.edges:
+        if is_intra(edge):
+            continue
+        source_group = group_of_role[edge.source]
+        target_group = group_of_role[edge.target]
+        group_edges[source_group].append((edge, source_group, target_group))
+        group_edges[target_group].append((edge, source_group, target_group))
+
+    dummy_groups = {g for g, tss in tss_of_group.items() if tss is None}
+    for dummy in dummy_groups:
+        if len(group_edges[dummy]) != 2:
+            raise ReductionError(
+                "a dummy schema role must connect exactly two target objects"
+            )
+
+    # Contract dummy chains into TSS edges by following each non-dummy
+    # group's outgoing chains to the next non-dummy group.
+    path_lookup = _path_lookup(tss_graph)
+    mapped_groups = sorted(g for g in range(len(groups)) if g not in dummy_groups)
+    group_index = {g: i for i, g in enumerate(mapped_groups)}
+    labels = [tss_of_group[g] for g in mapped_groups]
+    ctssn_edges: list[NetEdge] = []
+    visited_edges: set[int] = set()
+
+    edge_position = {id(edge): pos for pos, (edge) in enumerate(network.edges)}
+
+    for start in mapped_groups:
+        for edge, source_group, target_group in group_edges[start]:
+            if edge_position[id(edge)] in visited_edges:
+                continue
+            chain = [edge]
+            previous = start
+            current = target_group if source_group == start else source_group
+            while current in dummy_groups:
+                nexts = [
+                    (e, sg, tg)
+                    for (e, sg, tg) in group_edges[current]
+                    if edge_position[id(e)] != edge_position[id(chain[-1])]
+                ]
+                if len(nexts) != 1:  # pragma: no cover - defensive
+                    raise ReductionError("broken dummy chain")
+                next_edge, sg, tg = nexts[0]
+                chain.append(next_edge)
+                previous, current = current, (tg if sg == current else sg)
+            for chain_edge in chain:
+                visited_edges.add(edge_position[id(chain_edge)])
+            end = current
+            ctssn_edges.append(
+                _resolve_tss_edge(
+                    chain, start, end, group_of_role, group_index, path_lookup, schema
+                )
+            )
+
+    ctssn_network = TSSNetwork(labels, ctssn_edges)
+
+    annotations: list[list[WitnessConstraint]] = [[] for _ in mapped_groups]
+    for role, keywords in enumerate(cn.annotations):
+        if not keywords:
+            continue
+        group = group_of_role[role]
+        if group in dummy_groups:  # pragma: no cover - dummies are not indexed
+            raise ReductionError("keyword annotated on a dummy schema node")
+        annotations[group_index[group]].append(
+            WitnessConstraint(network.labels[role], keywords)
+        )
+    return CTSSN(
+        ctssn_network,
+        tuple(
+            tuple(sorted(constraints, key=lambda c: c.sort_key()))
+            for constraints in annotations
+        ),
+        cn,
+    )
+
+
+def _path_lookup(tss_graph: TSSGraph) -> dict[tuple[tuple[str, str, str], ...], str]:
+    """Map schema-edge paths to the TSS edge they realize."""
+    lookup: dict[tuple[tuple[str, str, str], ...], str] = {}
+    for tss_edge in tss_graph.edges():
+        key = tuple((hop.source, hop.target, hop.kind.value) for hop in tss_edge.path)
+        lookup[key] = tss_edge.edge_id
+    return lookup
+
+
+def _resolve_tss_edge(
+    chain: list[NetEdge],
+    start_group: int,
+    end_group: int,
+    group_of_role: dict[int, int],
+    group_index: dict[int, int],
+    path_lookup: dict,
+    schema: SchemaGraph,
+) -> NetEdge:
+    """Identify which TSS edge a contracted dummy chain realizes."""
+
+    def chain_key(edges: list[NetEdge]) -> tuple[tuple[str, str, str], ...]:
+        key = []
+        for edge in edges:
+            if "~" in edge.edge_id:
+                source, target = edge.edge_id.split("~")
+                kind = "reference"
+            else:
+                source, target = edge.edge_id.split(">")
+                kind = "containment"
+            key.append((source, target, kind))
+        return tuple(key)
+
+    forward_key = chain_key(chain)
+    if forward_key in path_lookup:
+        # Directed start -> end?  The chain edges were collected walking
+        # from ``start``; the schema path of a TSS edge is directed, so
+        # check which orientation matches the walk.
+        if _walk_is_forward(chain, start_group, group_of_role):
+            return NetEdge(
+                group_index[start_group],
+                group_index[end_group],
+                path_lookup[forward_key],
+            )
+    backward_key = chain_key(list(reversed(chain)))
+    if backward_key in path_lookup and not _walk_is_forward(
+        chain, start_group, group_of_role
+    ):
+        return NetEdge(
+            group_index[end_group], group_index[start_group], path_lookup[backward_key]
+        )
+    # Ambiguous walks (single edge whose schema direction decides):
+    if forward_key in path_lookup:
+        return NetEdge(
+            group_index[start_group], group_index[end_group], path_lookup[forward_key]
+        )
+    if backward_key in path_lookup:
+        return NetEdge(
+            group_index[end_group], group_index[start_group], path_lookup[backward_key]
+        )
+    raise ReductionError(
+        f"no TSS edge matches the schema path {forward_key}; the CN is not "
+        "expressible over this TSS graph"
+    )
+
+
+def _walk_is_forward(
+    chain: list[NetEdge], start_group: int, group_of_role: dict[int, int]
+) -> bool:
+    """Was the first chain edge traversed along its schema direction?"""
+    first = chain[0]
+    return group_of_role[first.source] == start_group
+
+
+def max_ctssn_size(
+    tss_graph: TSSGraph,
+    max_cn_size: int,
+    keyword_schema_nodes: list[set[str]],
+) -> int:
+    """The size-association bound M = f(Z) (paper equation (1)).
+
+    Every TSS edge of a CTSSN costs at least the minimum schema-path
+    length among TSS edges, and every keyword costs at least the minimum
+    depth of its candidate schema nodes inside their TSSs; what remains
+    of the CN budget bounds the TSS edge count.
+
+    Args:
+        tss_graph: The TSS graph.
+        max_cn_size: Z, the CN size bound.
+        keyword_schema_nodes: Per keyword, the schema nodes that may
+            contain it (restricting this is how the paper obtains
+            M = f(8) = 6 for two author/title keywords on DBLP).
+    """
+    min_edge = tss_graph.min_edge_schema_length()
+    keyword_cost = 0
+    for nodes in keyword_schema_nodes:
+        depths = []
+        for schema_node in nodes:
+            tss_name = tss_graph.tss_of(schema_node)
+            if tss_name is None:
+                continue
+            depths.append(tss_graph.tss(tss_name).depth_of(schema_node))
+        keyword_cost += min(depths) if depths else 0
+    budget = max_cn_size - keyword_cost
+    return max(0, budget // min_edge)

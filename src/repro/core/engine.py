@@ -1,0 +1,281 @@
+"""The XKeyword engine: the paper's query-processing pipeline (Figure 7).
+
+``XKeyword.search`` runs the five stages end to end: keyword discoverer
+(containing lists), CN generator, CTSSN reduction, optimizer, execution —
+and materializes MTTONs.  Top-k queries use the paper's thread-pool
+strategy: a thread per candidate network, smaller CNs first (they are
+cheaper *and* produce higher-ranked results), all threads sharing a
+global result budget of K.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..storage.decomposer import LoadedDatabase
+from .cn_generator import CandidateNetwork, CNGenerator
+from .ctssn import CTSSN, reduce_to_ctssn
+from .execution import (
+    CTSSNExecutor,
+    ExecutionMetrics,
+    ExecutorConfig,
+    ResultCache,
+)
+from .matching import ContainingLists
+from .optimizer import Optimizer, PlanningError
+from .plans import ExecutionPlan
+from .query import KeywordQuery
+from .results import MTTON, materialize
+
+
+@dataclass
+class SearchResult:
+    """Ranked results plus the metrics the experiments report."""
+
+    query: KeywordQuery
+    mttons: list[MTTON]
+    metrics: ExecutionMetrics
+    candidate_networks: list[CandidateNetwork] = field(default_factory=list)
+    ctssns: list[CTSSN] = field(default_factory=list)
+
+    def top(self, count: int) -> list[MTTON]:
+        return self.mttons[:count]
+
+    def scores(self) -> list[int]:
+        return [mtton.score for mtton in self.mttons]
+
+    def page(self, number: int, per_page: int = 10) -> list[MTTON]:
+        """One page of results, web-search-engine style (Section 3.2:
+        "output to the user page by page as in web search engine
+        interfaces").  Pages are numbered from 1."""
+        if number < 1:
+            raise ValueError("pages are numbered from 1")
+        start = (number - 1) * per_page
+        return self.mttons[start:start + per_page]
+
+    @property
+    def page_count(self) -> int:
+        return 0 if not self.mttons else -(-len(self.mttons) // 10)
+
+    def grouped_by_candidate_network(self) -> dict[str, list[MTTON]]:
+        """Results grouped per CN, the unit the presentation graphs use."""
+        groups: dict[str, list[MTTON]] = {}
+        for mtton in self.mttons:
+            groups.setdefault(mtton.ctssn.canonical_key, []).append(mtton)
+        return groups
+
+
+class XKeyword:
+    """Keyword proximity search over a loaded XML database."""
+
+    def __init__(
+        self,
+        loaded: LoadedDatabase,
+        store_priority: list[str] | None = None,
+        executor_config: ExecutorConfig | None = None,
+        threads: int = 4,
+    ) -> None:
+        """
+        Args:
+            loaded: The load-stage output (database + indexes + stores).
+            store_priority: Decomposition names, highest priority first;
+                defaults to the load order.  The optimizer prefers
+                relations from earlier stores.
+            executor_config: Default execution switches.
+            threads: Thread-pool width for top-k search.
+        """
+        self.loaded = loaded
+        names = store_priority or list(loaded.stores)
+        self.stores = {name: loaded.store(name) for name in names}
+        self.executor_config = executor_config or ExecutorConfig()
+        self.threads = max(1, threads)
+        self.optimizer = Optimizer(self.stores, loaded.statistics)
+
+    # ------------------------------------------------------------------
+    # Pipeline stages, individually exposed for tests and examples
+    # ------------------------------------------------------------------
+    def containing_lists(self, query: KeywordQuery) -> ContainingLists:
+        return ContainingLists.fetch(self.loaded.master_index, query)
+
+    def candidate_networks(
+        self, query: KeywordQuery, containing: ContainingLists | None = None
+    ) -> list[CandidateNetwork]:
+        containing = containing or self.containing_lists(query)
+        generator = CNGenerator(self.loaded.catalog.schema, containing.schema_nodes())
+        return generator.generate(query)
+
+    def candidate_tss_networks(
+        self, query: KeywordQuery, containing: ContainingLists | None = None
+    ) -> list[CTSSN]:
+        containing = containing or self.containing_lists(query)
+        return [
+            reduce_to_ctssn(cn, self.loaded.catalog.tss)
+            for cn in self.candidate_networks(query, containing)
+        ]
+
+    def plan(self, ctssn: CTSSN, containing: ContainingLists) -> ExecutionPlan:
+        role_costs = {
+            role: len(containing.allowed_tos(constraints))
+            for role, constraints in ctssn.keyword_roles()
+        }
+        return self.optimizer.plan(ctssn, role_costs)
+
+    # ------------------------------------------------------------------
+    # Search entry points
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        query: KeywordQuery | str,
+        k: int = 10,
+        config: ExecutorConfig | None = None,
+        parallel: bool = True,
+    ) -> SearchResult:
+        """Top-k search: the web-search-engine-like presentation mode."""
+        return self._run(query, limit=k, config=config, parallel=parallel)
+
+    def search_all(
+        self,
+        query: KeywordQuery | str,
+        config: ExecutorConfig | None = None,
+        parallel: bool = False,
+    ) -> SearchResult:
+        """Produce the full list of results (no K cutoff)."""
+        return self._run(query, limit=None, config=config, parallel=parallel)
+
+    def stream(
+        self,
+        query: KeywordQuery | str,
+        config: ExecutorConfig | None = None,
+    ):
+        """Stream MTTONs as they are produced (Section 3.2: XKeyword
+        "outputs MTTONs as they come", filling result pages on the fly).
+
+        Candidate networks are evaluated smallest-score first, so the
+        stream is in (block-wise) ranking order; stop consuming whenever
+        enough results arrived.
+        """
+        query = self._coerce(query)
+        config = config or self.executor_config
+        containing = self.containing_lists(query)
+        if any(not containing.keyword_tos[k] for k in query.keywords):
+            return
+        ctssns = self.candidate_tss_networks(query, containing)
+        role_costs_of = {
+            ctssn.canonical_key: {
+                role: len(containing.allowed_tos(constraints))
+                for role, constraints in ctssn.keyword_roles()
+            }
+            for ctssn in ctssns
+        }
+        ordered = sorted(
+            ctssns,
+            key=lambda c: (
+                c.score,
+                self.optimizer.estimate_results(c, role_costs_of[c.canonical_key]),
+                c.canonical_key,
+            ),
+        )
+        lookup_cache = ResultCache(config.cache_capacity)
+        for ctssn in ordered:
+            plan = self.optimizer.plan(ctssn, role_costs_of[ctssn.canonical_key])
+            executor = CTSSNExecutor(
+                plan,
+                self.stores,
+                containing,
+                config=config,
+                lookup_cache=lookup_cache,
+            )
+            for row in executor.run():
+                yield materialize(ctssn, row, self.loaded.to_graph)
+
+    # ------------------------------------------------------------------
+    def _coerce(self, query: KeywordQuery | str) -> KeywordQuery:
+        if isinstance(query, str):
+            return KeywordQuery(tuple(query.split()))
+        return query
+
+    def _run(
+        self,
+        query: KeywordQuery | str,
+        limit: int | None,
+        config: ExecutorConfig | None,
+        parallel: bool,
+    ) -> SearchResult:
+        query = self._coerce(query)
+        config = config or self.executor_config
+        containing = self.containing_lists(query)
+        metrics = ExecutionMetrics()
+        result = SearchResult(query, [], metrics)
+        if any(not containing.keyword_tos[k] for k in query.keywords):
+            return result
+        result.candidate_networks = self.candidate_networks(query, containing)
+        result.ctssns = [
+            reduce_to_ctssn(cn, self.loaded.catalog.tss)
+            for cn in result.candidate_networks
+        ]
+        # Smaller CNs first (cheaper and higher ranked, per the paper);
+        # ties broken by the statistics-estimated result count.
+        role_costs_of = {
+            ctssn.canonical_key: {
+                role: len(containing.allowed_tos(constraints))
+                for role, constraints in ctssn.keyword_roles()
+            }
+            for ctssn in result.ctssns
+        }
+        ordered = sorted(
+            result.ctssns,
+            key=lambda c: (
+                c.score,
+                self.optimizer.estimate_results(c, role_costs_of[c.canonical_key]),
+                c.canonical_key,
+            ),
+        )
+        lookup_cache = ResultCache(config.cache_capacity)
+
+        collected: list[MTTON] = []
+        lock = threading.Lock()
+        stop = threading.Event()
+
+        def evaluate(ctssn: CTSSN) -> ExecutionMetrics:
+            local_metrics = ExecutionMetrics()
+            if stop.is_set():
+                return local_metrics
+            try:
+                plan = self.plan(ctssn, containing)
+            except PlanningError:
+                raise
+            executor = CTSSNExecutor(
+                plan,
+                self.stores,
+                containing,
+                config=config,
+                metrics=local_metrics,
+                lookup_cache=lookup_cache,
+            )
+            for row in executor.run(limit=limit):
+                mtton = materialize(ctssn, row, self.loaded.to_graph)
+                with lock:
+                    collected.append(mtton)
+                    if limit is not None and len(collected) >= limit:
+                        stop.set()
+                if stop.is_set():
+                    break
+            return local_metrics
+
+        if parallel and len(ordered) > 1:
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                for local in pool.map(evaluate, ordered):
+                    metrics.merge(local)
+        else:
+            for ctssn in ordered:
+                if stop.is_set():
+                    break
+                metrics.merge(evaluate(ctssn))
+
+        collected.sort(key=lambda m: (m.score, m.ctssn.canonical_key, m.assignment))
+        if limit is not None:
+            collected = collected[:limit]
+        result.mttons = collected
+        return result

@@ -1,0 +1,391 @@
+"""The execution module (paper Section 6).
+
+Evaluates one candidate TSS network by nested-loop joining its plan's
+connection relations, sending focused queries to the database exactly the
+way the paper describes:
+
+* the outermost loop iterates the target objects admitted by the anchor
+  keyword's containing list;
+* every inner level looks the next fragment up by the junction ids bound
+  so far (an index/clustered lookup under the clustered policies);
+* the **optimized** executor memoizes partial results: when the same
+  junction ids reappear, the entire inner subtree is reused instead of
+  re-queried (the paper's up-to-80% speedup; Figure 16(a)).  The cache is
+  bounded, like the paper's fixed-size cache — on overflow, queries are
+  simply re-sent;
+* the **naive** executor (DISCOVER/DBXplorer behaviour) re-executes inner
+  loops unconditionally;
+* the **hash** executor prefetches each relation once and joins in
+  memory — the full-scan + hash-join strategy that wins for *all-results*
+  queries over the unindexed minimal decomposition (Figure 15(b)).
+
+Results are role -> target-object-id assignments; distinct roles must
+bind distinct target objects (an MTTON is a *set* of target objects).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..storage.relations import RelationStore
+from .matching import ContainingLists
+from .plans import ExecutionPlan, PlanStep
+
+ResultRow = dict[int, str]
+"""A result: CTSSN role -> target object id."""
+
+
+@dataclass
+class ExecutionMetrics:
+    """Counters for the experiments (queries sent, cache behaviour)."""
+
+    queries_sent: int = 0
+    rows_fetched: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    results: int = 0
+
+    def merge(self, other: "ExecutionMetrics") -> None:
+        self.queries_sent += other.queries_sent
+        self.rows_fetched += other.rows_fetched
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.results += other.results
+
+
+class ResultCache:
+    """A bounded LRU cache of partial (suffix) results.
+
+    XKeyword "uses a fixed size cache for each keyword query to store
+    past results and if the cache gets full, the queries are re-sent to
+    the DBMS" — eviction here plays that role.
+    """
+
+    def __init__(self, capacity: int = 50_000) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, list[ResultRow]] = OrderedDict()
+
+    def get(self, key: tuple) -> list[ResultRow] | None:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key: tuple, value: list[ResultRow]) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class _SqlAccess:
+    """Per-lookup SQL access: one focused query per probe.
+
+    An optional shared lookup cache implements the paper's reuse of
+    common subexpressions *across* candidate networks: two CNs probing
+    the same relation with the same junction ids share the result.
+    """
+
+    def __init__(
+        self,
+        store: RelationStore,
+        step: PlanStep,
+        metrics: ExecutionMetrics,
+        lookup_cache: "ResultCache | None" = None,
+    ):
+        self._store = store
+        self._fragment = step.piece.fragment
+        self._metrics = metrics
+        self._lookup_cache = lookup_cache
+
+    def lookup(self, bindings: dict[str, str]) -> list[tuple[str, ...]]:
+        key = None
+        if self._lookup_cache is not None:
+            key = (self._fragment.relation_name, tuple(sorted(bindings.items())))
+            cached = self._lookup_cache.get(key)
+            if cached is not None:
+                self._metrics.cache_hits += 1
+                return cached  # type: ignore[return-value]
+        self._metrics.queries_sent += 1
+        rows = self._store.lookup(self._fragment, bindings)
+        self._metrics.rows_fetched += len(rows)
+        if key is not None:
+            self._lookup_cache.put(key, rows)  # type: ignore[arg-type]
+        return rows
+
+
+class _HashAccess:
+    """Full-scan + hash-join access (the Figure 15(b) strategy).
+
+    The scan and its hash indexes live on the relation store, playing
+    the DBMS buffer pool's role: the first executor to touch a relation
+    pays the scan, later probes are dictionary lookups.
+    """
+
+    def __init__(self, store: RelationStore, step: PlanStep, metrics: ExecutionMetrics):
+        self._store = store
+        self._fragment = step.piece.fragment
+        self._metrics = metrics
+        self._scanned = False
+
+    def _ensure_scan(self) -> list[tuple[str, ...]]:
+        if not self._scanned:
+            self._metrics.queries_sent += 1
+            self._scanned = True
+        return self._store.scan_cached(self._fragment)
+
+    def lookup(self, bindings: dict[str, str]) -> list[tuple[str, ...]]:
+        rows = self._ensure_scan()
+        if not bindings:
+            return rows
+        key_columns = tuple(sorted(bindings))
+        index = self._store.hash_index(self._fragment, key_columns)
+        matches = index.get(tuple(bindings[c] for c in key_columns), [])
+        self._metrics.rows_fetched += len(matches)
+        return matches
+
+
+@dataclass
+class ExecutorConfig:
+    """Execution-mode switches (Section 6 variants)."""
+
+    use_cache: bool = True
+    """Optimized (cached) vs naive nested loops."""
+
+    hash_join: bool = False
+    """Prefetch + hash join instead of per-probe SQL (all-results mode)."""
+
+    share_lookups: bool = True
+    """Reuse common subexpressions across candidate networks via a shared
+    relation-lookup cache (ignored under ``hash_join``)."""
+
+    cache_capacity: int = 50_000
+
+
+class CTSSNExecutor:
+    """Nested-loop evaluation of one planned candidate TSS network."""
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        stores: dict[str, RelationStore],
+        containing: ContainingLists,
+        config: ExecutorConfig | None = None,
+        cache: ResultCache | None = None,
+        metrics: ExecutionMetrics | None = None,
+        lookup_cache: ResultCache | None = None,
+    ) -> None:
+        self.plan = plan
+        self.config = config or ExecutorConfig()
+        self.metrics = metrics or ExecutionMetrics()
+        self.containing = containing
+        self.cache = cache or ResultCache(self.config.cache_capacity)
+        # The suffix cache may be shared across executors; namespace the
+        # keys by this plan's identity.
+        self._cache_ns = plan.ctssn.canonical_key
+        if self.config.hash_join:
+            self._access: list = [
+                _HashAccess(stores[step.store_name], step, self.metrics)
+                for step in plan.steps
+            ]
+        else:
+            self._access = [
+                _SqlAccess(
+                    stores[step.store_name],
+                    step,
+                    self.metrics,
+                    lookup_cache if self.config.share_lookups else None,
+                )
+                for step in plan.steps
+            ]
+        self.role_filters: dict[int, set[str]] = {
+            role: containing.allowed_tos(constraints)
+            for role, constraints in plan.ctssn.keyword_roles()
+        }
+        self._step_roles = [set(step.roles()) for step in plan.steps]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        limit: int | None = None,
+        fixed_bindings: ResultRow | None = None,
+        prefer: dict[int, set[str]] | None = None,
+    ) -> Iterator[ResultRow]:
+        """Evaluate the plan.
+
+        Args:
+            limit: Stop after this many results (top-k mode).
+            fixed_bindings: Roles pinned to specific target objects (the
+                on-demand expansion pins the clicked node's role).
+            prefer: Per-role preferred target objects — matching rows are
+                explored first, which makes the first result reuse as much
+                of the presentation graph as possible.
+        """
+        plan = self.plan
+        network = plan.ctssn.network
+        fixed = dict(fixed_bindings or {})
+        produced = 0
+
+        seeds: list[ResultRow] = []
+        anchor = plan.anchor_role
+        if anchor in fixed:
+            seeds.append(dict(fixed))
+        elif anchor in self.role_filters:
+            for to_id in sorted(self.role_filters[anchor]):
+                seed = dict(fixed)
+                seed[anchor] = to_id
+                if len(set(seed.values())) == len(seed):
+                    seeds.append(seed)
+        else:
+            seeds.append(dict(fixed))
+
+        if network.size == 0:
+            for seed in seeds:
+                if anchor in seed and self._admit(anchor, seed[anchor]):
+                    yield {anchor: seed[anchor]}
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+            return
+
+        needed = self._needed_roles(set(fixed) | {anchor})
+        for seed in seeds:
+            for suffix in self._evaluate(0, seed, needed, prefer):
+                row = {**seed, **suffix}
+                if len(set(row.values())) != len(row):
+                    continue
+                produced += 1
+                self.metrics.results += 1
+                yield row
+                if limit is not None and produced >= limit:
+                    return
+
+    # ------------------------------------------------------------------
+    def _admit(self, role: int, to_id: str) -> bool:
+        allowed = self.role_filters.get(role)
+        return allowed is None or to_id in allowed
+
+    def _needed_roles(self, seed_roles: set[int]) -> list[tuple[int, ...]]:
+        """Roles each suffix's results depend on (memoization keys)."""
+        steps = self.plan.steps
+        needed: list[tuple[int, ...]] = []
+        for index in range(len(steps)):
+            later_roles: set[int] = set()
+            for step_roles in self._step_roles[index:]:
+                later_roles |= step_roles
+            earlier: set[int] = set(seed_roles)
+            for step_roles in self._step_roles[:index]:
+                earlier |= step_roles
+            needed.append(tuple(sorted(later_roles & earlier)))
+        return needed
+
+    def _evaluate(
+        self,
+        index: int,
+        bindings: ResultRow,
+        needed: list[tuple[int, ...]],
+        prefer: dict[int, set[str]] | None,
+    ) -> Iterator[ResultRow]:
+        """Suffix results of steps ``index..``; injectivity is checked
+        against roles inside the suffix only (the caller re-checks the
+        full row)."""
+        if index == len(self.plan.steps):
+            yield {}
+            return
+        if self.config.use_cache:
+            key_roles = [role for role in needed[index] if role in bindings]
+            key = (
+                self._cache_ns,
+                index,
+                tuple((role, bindings[role]) for role in key_roles),
+            )
+            cached = self.cache.get(key)
+            if cached is None:
+                self.metrics.cache_misses += 1
+                restricted = {role: bindings[role] for role in key_roles}
+                cached = list(self._compute(index, restricted, needed, None))
+                self.cache.put(key, cached)
+            else:
+                self.metrics.cache_hits += 1
+            suffixes = cached
+            if prefer:
+                suffixes = sorted(cached, key=lambda s: self._prefer_rank(s, prefer))
+            bound_values = set(bindings.values())
+            for suffix in suffixes:
+                # Suffix roles are disjoint from bound roles by
+                # construction; only value collisions can arise.
+                if all(value not in bound_values for value in suffix.values()):
+                    yield suffix
+            return
+        yield from self._compute(index, bindings, needed, prefer)
+
+    def _compute(
+        self,
+        index: int,
+        bindings: ResultRow,
+        needed: list[tuple[int, ...]],
+        prefer: dict[int, set[str]] | None,
+    ) -> Iterator[ResultRow]:
+        step = self.plan.steps[index]
+        bound_roles = [role for role in step.roles() if role in bindings]
+        lookup_bindings = {
+            step.column_of_role(role): bindings[role] for role in bound_roles
+        }
+        rows = self._access[index].lookup(lookup_bindings)
+        candidates = []
+        for row in rows:
+            assignment: ResultRow = {}
+            valid = True
+            for fragment_role, network_role in step.piece.role_map:
+                value = row[fragment_role]
+                if network_role in bindings:
+                    if bindings[network_role] != value:
+                        valid = False
+                        break
+                    continue
+                if not self._admit(network_role, value):
+                    valid = False
+                    break
+                if value in assignment.values() or value in bindings.values():
+                    valid = False
+                    break
+                assignment[network_role] = value
+            if valid:
+                candidates.append(assignment)
+        if prefer:
+            candidates.sort(key=lambda a: self._prefer_rank(a, prefer))
+        seen: set[tuple] = set()
+        for assignment in candidates:
+            dedupe = tuple(sorted(assignment.items()))
+            if dedupe in seen:
+                continue  # parallel rows binding the same new roles
+            seen.add(dedupe)
+            inner = dict(bindings)
+            inner.update(assignment)
+            for suffix in self._evaluate(index + 1, inner, needed, prefer):
+                merged = dict(assignment)
+                conflict = False
+                for role, value in suffix.items():
+                    if value in merged.values():
+                        conflict = True
+                        break
+                    merged[role] = value
+                if not conflict:
+                    yield merged
+
+    @staticmethod
+    def _prefer_rank(assignment: ResultRow, prefer: dict[int, set[str]]) -> int:
+        """Fewer non-preferred bindings sort first (expansion minimality)."""
+        penalty = 0
+        for role, value in assignment.items():
+            preferred = prefer.get(role)
+            if preferred is not None and value not in preferred:
+                penalty += 1
+        return penalty

@@ -1,0 +1,215 @@
+"""Interactive presentation graphs (paper Sections 3.2 and 6).
+
+For each candidate network ``C`` a presentation graph ``PG(C)`` contains
+every node participating in some MTTON of ``C``; only a subgraph is
+*active* (displayed) at a time.  The user navigates by:
+
+* **expansion** on a node of type ``N`` — all distinct type-``N`` nodes
+  of ``C``'s MTTONs appear, plus a minimal set of other nodes so every
+  displayed node lies on an MTTON fully contained in the display
+  (properties (a)-(d) of Section 3.2);
+* **contraction** on an expanded node ``n`` — every other type-``N``
+  node is hidden, together with the now-unsupported nodes; the result is
+  the *maximal* display satisfying the same containment property.
+
+"Type" here is a CTSSN **role**, not a TSS: the paper stresses that one
+schema type in two roles (a part and the part containing it) counts as
+two presentation types.
+
+This module operates on a set of known MTTONs (rows).  The on-demand
+variant that discovers rows by querying the database lives in
+:mod:`repro.core.expansion`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .ctssn import CTSSN
+from .execution import ResultRow
+
+DisplayNode = tuple[int, str]
+"""A presentation-graph node: (CTSSN role, target object id)."""
+
+
+@dataclass
+class PresentationGraph:
+    """The active display over the MTTONs of one candidate network."""
+
+    ctssn: CTSSN
+    rows: list[ResultRow] = field(default_factory=list)
+    displayed: set[DisplayNode] = field(default_factory=set)
+    expanded_roles: set[int] = field(default_factory=set)
+    page_size: int | None = None
+    """Optional cap on how many nodes one expansion reveals (the paper
+    shows only the first 10 when they do not fit on screen)."""
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def row_nodes(row: ResultRow) -> frozenset[DisplayNode]:
+        return frozenset(row.items())
+
+    def add_rows(self, rows: list[ResultRow]) -> None:
+        """Register known MTTONs (deduplicated)."""
+        known = {tuple(sorted(row.items())) for row in self.rows}
+        for row in rows:
+            key = tuple(sorted(row.items()))
+            if key not in known:
+                known.add(key)
+                self.rows.append(dict(row))
+
+    def initialize(self, row: ResultRow | None = None) -> None:
+        """PG_0: a single, arbitrarily chosen MTTON of the CN."""
+        if row is None:
+            if not self.rows:
+                raise ValueError("no MTTONs known for this candidate network")
+            row = self.rows[0]
+        else:
+            self.add_rows([row])
+        self.displayed = set(self.row_nodes(row))
+        self.expanded_roles = set()
+
+    # ------------------------------------------------------------------
+    def contained_rows(self, display: set[DisplayNode]) -> list[ResultRow]:
+        """Known MTTONs fully contained in a display set."""
+        return [row for row in self.rows if self.row_nodes(row) <= display]
+
+    def supported(self, display: set[DisplayNode]) -> set[DisplayNode]:
+        """Greatest subset of ``display`` where every node lies on a
+        contained MTTON — the fixpoint used by contraction."""
+        current = set(display)
+        while True:
+            covered: set[DisplayNode] = set()
+            for row in self.contained_rows(current):
+                covered |= self.row_nodes(row)
+            pruned = current & covered
+            if pruned == current:
+                return current
+            current = pruned
+
+    # ------------------------------------------------------------------
+    def expand(self, role: int) -> set[DisplayNode]:
+        """Expansion on a node type (Section 3.2 properties (a)-(d)).
+
+        Returns the nodes newly displayed.
+        """
+        candidates = sorted({row[role] for row in self.rows if role in row})
+        if self.page_size is not None:
+            shown = [to for to in candidates if (role, to) in self.displayed]
+            budget = max(0, self.page_size - len(shown))
+            candidates = shown + [
+                to for to in candidates if (role, to) not in self.displayed
+            ][:budget]
+        before = set(self.displayed)
+        display = set(self.displayed)
+        display.update((role, to) for to in candidates)
+        # Property (c): every displayed node needs a containing MTTON
+        # inside the display.  Add a minimal set of support nodes: for
+        # each unsupported node pick the containing MTTON introducing the
+        # fewest new nodes (greedy minimality).
+        for to in candidates:
+            node = (role, to)
+            if any(
+                self.row_nodes(row) <= display
+                for row in self.rows
+                if row.get(role) == to
+            ):
+                continue
+            best: frozenset[DisplayNode] | None = None
+            best_new = None
+            for row in self.rows:
+                if row.get(role) != to:
+                    continue
+                nodes = self.row_nodes(row)
+                new_count = len(nodes - display)
+                if best_new is None or new_count < best_new:
+                    best, best_new = nodes, new_count
+            if best is not None:
+                display |= best
+        self.displayed = display
+        self.expanded_roles.add(role)
+        return display - before
+
+    def contract(self, role: int, keep: str) -> set[DisplayNode]:
+        """Contraction on an expanded node (Section 3.2).
+
+        Hides every type-``role`` node except ``keep``, then drops the
+        minimum further set so property (c) holds — i.e. keeps the
+        maximal supported display.  Returns the nodes hidden.
+        """
+        before = set(self.displayed)
+        display = {
+            (r, to)
+            for (r, to) in self.displayed
+            if r != role or to == keep
+        }
+        display = self.supported(display)
+        if not display:
+            # Keep at least one MTTON through the kept node if any exists.
+            for row in self.rows:
+                if row.get(role) == keep:
+                    display = set(self.row_nodes(row))
+                    break
+        self.displayed = display
+        self.expanded_roles.discard(role)
+        return before - display
+
+    # ------------------------------------------------------------------
+    def displayed_edges(self) -> list[tuple[DisplayNode, DisplayNode, str]]:
+        """Edges of the active display.
+
+        An edge between two displayed nodes is shown when some known
+        MTTON contained in the display realizes it — the presentation
+        graph never draws a connection it has not verified.
+        """
+        edges: set[tuple[DisplayNode, DisplayNode, str]] = set()
+        for row in self.contained_rows(self.displayed):
+            for net_edge in self.ctssn.network.edges:
+                source = (net_edge.source, row[net_edge.source])
+                target = (net_edge.target, row[net_edge.target])
+                edges.add((source, target, net_edge.edge_id))
+        return sorted(edges)
+
+    def to_dot(self, tss_graph=None) -> str:
+        """Graphviz DOT rendering of the active display (Figure 3 style).
+
+        Pass the TSS graph to annotate edges with their semantic
+        explanations ("by author", "cites", ...), as the paper's
+        presentation graphs do.
+        """
+        lines = ["digraph presentation {", "  rankdir=LR;", "  node [shape=box];"]
+        labels = self.ctssn.network.labels
+        for role, to in sorted(self.displayed):
+            shape = "doubleoctagon" if role in self.expanded_roles else "box"
+            keywords = ",".join(sorted(self.ctssn.keywords_of_role(role)))
+            tag = f"\\n[{keywords}]" if keywords else ""
+            lines.append(
+                f'  "{role}_{to}" [label="{labels[role]}\\n{to}{tag}", shape={shape}];'
+            )
+        for (source_role, source_to), (target_role, target_to), edge_id in (
+            self.displayed_edges()
+        ):
+            label = edge_id
+            if tss_graph is not None:
+                tss_edge = tss_graph.edge(edge_id)
+                label = tss_edge.forward_label or edge_id
+            lines.append(
+                f'  "{source_role}_{source_to}" -> "{target_role}_{target_to}"'
+                f' [label="{label}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+    def displayed_by_role(self) -> dict[int, list[str]]:
+        grouped: dict[int, list[str]] = {}
+        for role, to in sorted(self.displayed):
+            grouped.setdefault(role, []).append(to)
+        return grouped
+
+    def describe(self) -> str:
+        labels = self.ctssn.network.labels
+        lines = [f"presentation graph for {self.ctssn}"]
+        for role, tos in sorted(self.displayed_by_role().items()):
+            marker = "*" if role in self.expanded_roles else " "
+            lines.append(f" {marker} {labels[role]}({role}): {', '.join(tos)}")
+        return "\n".join(lines)

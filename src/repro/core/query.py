@@ -1,0 +1,40 @@
+"""Keyword proximity queries (paper Section 3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KeywordQuery:
+    """A keyword proximity query.
+
+    Attributes:
+        keywords: The queried keywords (order is irrelevant to semantics;
+            the first keyword anchors candidate-network generation).
+        max_size: Z — the maximum size, in schema-graph edges, of a
+            Minimal Total Node Network of interest (the user-supplied
+            bound of Section 3.1: "the size of the MTNNs of a keyword
+            query is only data bound", so the user caps it).
+    """
+
+    keywords: tuple[str, ...]
+    max_size: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.keywords:
+            raise ValueError("a keyword query needs at least one keyword")
+        if len(set(k.lower() for k in self.keywords)) != len(self.keywords):
+            raise ValueError("keywords must be distinct")
+        if self.max_size < 0:
+            raise ValueError("max_size must be non-negative")
+        object.__setattr__(
+            self, "keywords", tuple(keyword.lower() for keyword in self.keywords)
+        )
+
+    @classmethod
+    def of(cls, *keywords: str, max_size: int = 8) -> "KeywordQuery":
+        return cls(tuple(keywords), max_size)
+
+    def __str__(self) -> str:
+        return f"[{', '.join(self.keywords)}] (Z={self.max_size})"

@@ -1,0 +1,142 @@
+"""Enumeration of satisfiable fragments / TSS networks up to a size bound.
+
+Fragments (Definition 5.2) and candidate TSS networks share the same
+structural class — role-labeled trees over the TSS graph whose every edge
+instance is satisfiable — so one enumerator serves both: the *complete*
+decomposition ("all fragments of size L"), the *maximal* decomposition
+("a fragment for every possible candidate TSS network"), and the cover
+list ``Q`` of the Figure 12 algorithm.
+
+The enumerator grows trees breadth-first by attaching TSS edges at any
+role, pruning unsatisfiable attachments early (choice conflicts, double
+containment parents, maxoccurs) and deduplicating by canonical form —
+the same canonical-form trick our CN generator uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..schema.tss import TSSGraph
+from .fragments import Fragment, NetEdge, TSSNetwork
+from .useless import attachment_allowed
+
+
+def _attachments(network: TSSNetwork, tss_graph: TSSGraph) -> Iterator[tuple[int, str, bool, str]]:
+    """All legal (role, edge_id, outgoing, new label) attachment moves."""
+    for role in range(network.role_count):
+        label = network.labels[role]
+        for tss_edge in tss_graph.out_edges(label):
+            if attachment_allowed(network, role, tss_edge.edge_id, True, tss_graph):
+                yield role, tss_edge.edge_id, True, tss_edge.target
+        for tss_edge in tss_graph.in_edges(label):
+            if attachment_allowed(network, role, tss_edge.edge_id, False, tss_graph):
+                yield role, tss_edge.edge_id, False, tss_edge.source
+
+
+def enumerate_networks(
+    tss_graph: TSSGraph,
+    max_size: int,
+    min_size: int = 1,
+    factory: type = Fragment,
+) -> list[TSSNetwork]:
+    """All satisfiable role-labeled trees with ``min_size <= size <= max_size``.
+
+    Args:
+        tss_graph: The TSS graph supplying the edge alphabet and
+            satisfiability constraints.
+        max_size: Maximum number of edges.
+        min_size: Minimum number of edges included in the result.
+        factory: Concrete class to instantiate (:class:`Fragment` by
+            default, so the result doubles as a fragment universe).
+    """
+    if max_size < 1:
+        return []
+    seen: set[str] = set()
+    results: list[TSSNetwork] = []
+    frontier: list[TSSNetwork] = []
+    for tss_edge in tss_graph.edges():
+        candidate = factory(
+            [tss_edge.source, tss_edge.target], [NetEdge(0, 1, tss_edge.edge_id)]
+        )
+        key = candidate.canonical_key()
+        if key in seen:
+            continue
+        seen.add(key)
+        frontier.append(candidate)
+        if min_size <= 1:
+            results.append(candidate)
+
+    size = 1
+    while frontier and size < max_size:
+        size += 1
+        next_frontier: list[TSSNetwork] = []
+        for network in frontier:
+            for role, edge_id, outgoing, new_label in _attachments(network, tss_graph):
+                labels = list(network.labels) + [new_label]
+                new_role = len(network.labels)
+                if outgoing:
+                    new_edge = NetEdge(role, new_role, edge_id)
+                else:
+                    new_edge = NetEdge(new_role, role, edge_id)
+                candidate = factory(labels, list(network.edges) + [new_edge])
+                key = candidate.canonical_key()
+                if key in seen:
+                    continue
+                seen.add(key)
+                next_frontier.append(candidate)
+                if size >= min_size:
+                    results.append(candidate)
+        frontier = next_frontier
+    return results
+
+
+def enumerate_fragments(
+    tss_graph: TSSGraph, max_size: int, min_size: int = 1
+) -> list[Fragment]:
+    """All satisfiable fragments in the size range, as :class:`Fragment`."""
+    return enumerate_networks(tss_graph, max_size, min_size, factory=Fragment)  # type: ignore[return-value]
+
+
+def subtrees_of(network: TSSNetwork, min_size: int, max_size: int) -> list[Fragment]:
+    """All connected subtrees of ``network`` within the size range.
+
+    Used by the Figure 12 algorithm to propose larger non-MVD fragments
+    that cover a specific uncovered network.  Networks have at most a
+    handful of edges, so the exhaustive connected-subset growth is cheap.
+    """
+    edge_list = list(network.edges)
+    seen: set[str] = set()
+    results: list[Fragment] = []
+
+    def to_fragment(indices: frozenset[int]) -> Fragment:
+        subset = [edge_list[i] for i in sorted(indices)]
+        roles = sorted({e.source for e in subset} | {e.target for e in subset})
+        remap = {old: new for new, old in enumerate(roles)}
+        labels = [network.labels[old] for old in roles]
+        edges = [NetEdge(remap[e.source], remap[e.target], e.edge_id) for e in subset]
+        return Fragment(labels, edges)
+
+    visited_subsets: set[frozenset[int]] = set()
+
+    def recurse(chosen: frozenset[int], touched: frozenset[int]) -> None:
+        if chosen in visited_subsets:
+            return
+        visited_subsets.add(chosen)
+        if min_size <= len(chosen) <= max_size:
+            fragment = to_fragment(chosen)
+            key = fragment.canonical_key()
+            if key not in seen:
+                seen.add(key)
+                results.append(fragment)
+        if len(chosen) >= max_size:
+            return
+        for index, edge in enumerate(edge_list):
+            if index in chosen:
+                continue
+            if edge.source in touched or edge.target in touched:
+                recurse(chosen | {index}, touched | {edge.source, edge.target})
+
+    for anchor, edge in enumerate(edge_list):
+        recurse(frozenset({anchor}), frozenset({edge.source, edge.target}))
+    return results

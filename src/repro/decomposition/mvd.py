@@ -1,0 +1,124 @@
+"""Structural dependency analysis of fragments (paper Theorem 5.3).
+
+A fragment's connection relation is the natural join of its edge relations
+along a tree, so a join dependency holds along every tree node, and every
+branch at a node ``r`` yields the (embedded) multivalued dependency
+``r ->> branch``.  The classification the paper uses is:
+
+* **MVD fragment** — carries a *genuine* MVD, i.e. one not implied by the
+  relation's functional dependencies: some role has at least two incident
+  branches that each contain a to-many edge directed away from it.  Such
+  relations multiply rows (the Figure 10 ``PaLOLPa`` example) and are what
+  the decomposition algorithm avoids.
+* **4NF fragment** — no genuine MVD and in BCNF (single-edge relations
+  and chains like ``OLPa`` whose every edge is to-one from the key side).
+* **inlined fragment** — no genuine MVD but BCNF is violated: redundancy
+  through transitive FDs only, the shape the paper's Figure 12 algorithm
+  builds ("inlined, non-MVD decomposition").
+
+FDs are read directly off the tree: a fragment edge traversed in a to-one
+direction induces an FD between the two role columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..schema.tss import TSSGraph
+from .fragments import Fragment, NetEdge, TSSNetwork
+from .nf import FD, is_bcnf
+
+
+class FragmentClass(enum.Enum):
+    """Storage-redundancy class of a fragment (paper Section 5)."""
+
+    FOUR_NF = "4nf"
+    INLINED = "inlined"
+    MVD = "mvd"
+
+
+def edge_many_away(network: TSSNetwork, edge: NetEdge, role: int, tss_graph: TSSGraph) -> bool:
+    """Is ``edge`` to-many when traversed away from ``role``?"""
+    tss_edge = tss_graph.edge(edge.edge_id)
+    if edge.oriented_from(role):
+        return tss_edge.forward_many(tss_graph.schema)
+    return tss_edge.backward_many(tss_graph.schema)
+
+
+def branch_is_multivalued(
+    network: TSSNetwork, role: int, via: NetEdge, tss_graph: TSSGraph
+) -> bool:
+    """Does the branch at ``role`` through ``via`` multiply instances?
+
+    True when any edge of the branch is to-many when oriented away from
+    ``role`` (equivalently: the branch contains a column outside the FD
+    closure of ``role``'s column).
+    """
+    if edge_many_away(network, via, role, tss_graph):
+        return True
+    start = via.other(role)
+    seen = {role, start}
+    stack = [start]
+    while stack:
+        current = stack.pop()
+        for edge in network.incident(current):
+            nxt = edge.other(current)
+            if nxt in seen:
+                continue
+            if edge_many_away(network, edge, current, tss_graph):
+                return True
+            seen.add(nxt)
+            stack.append(nxt)
+    return False
+
+
+def has_genuine_mvd(network: TSSNetwork, tss_graph: TSSGraph) -> bool:
+    """Theorem 5.3: does the fragment carry a non-FD-implied MVD?"""
+    for role in range(network.role_count):
+        multivalued = 0
+        for edge in network.incident(role):
+            if branch_is_multivalued(network, role, edge, tss_graph):
+                multivalued += 1
+                if multivalued >= 2:
+                    return True
+    return False
+
+
+def fragment_fds(fragment: Fragment, tss_graph: TSSGraph) -> list[FD]:
+    """Functional dependencies induced by the fragment tree."""
+    fds: list[FD] = []
+    for edge in fragment.edges:
+        source_col = fragment.column_for_role(edge.source)
+        target_col = fragment.column_for_role(edge.target)
+        tss_edge = tss_graph.edge(edge.edge_id)
+        if not tss_edge.forward_many(tss_graph.schema):
+            fds.append(FD.of([source_col], [target_col]))
+        if not tss_edge.backward_many(tss_graph.schema):
+            fds.append(FD.of([target_col], [source_col]))
+    return fds
+
+
+@dataclass(frozen=True)
+class FragmentAnalysis:
+    """Classification plus the evidence used to reach it."""
+
+    fragment: Fragment
+    fragment_class: FragmentClass
+    fds: tuple[FD, ...]
+
+    @property
+    def is_mvd(self) -> bool:
+        return self.fragment_class is FragmentClass.MVD
+
+
+def classify_fragment(fragment: Fragment, tss_graph: TSSGraph) -> FragmentAnalysis:
+    """Classify a fragment as 4NF, inlined, or MVD."""
+    fds = fragment_fds(fragment, tss_graph)
+    if has_genuine_mvd(fragment, tss_graph):
+        cls = FragmentClass.MVD
+    elif is_bcnf(fragment.columns, fds):
+        cls = FragmentClass.FOUR_NF
+    else:
+        cls = FragmentClass.INLINED
+    return FragmentAnalysis(fragment, cls, tuple(fds))

@@ -1,0 +1,146 @@
+"""Relational normal-form substrate: FDs, keys, BCNF/4NF, MVD checking.
+
+The paper classifies connection relations into **4NF**, **inlined**
+(redundant through functional dependencies only) and **MVD** (carrying a
+genuine, non-FD-implied multivalued dependency) fragments.  This module
+supplies the textbook machinery those classifications rest on:
+
+* functional-dependency closure and candidate keys,
+* BCNF testing,
+* an exact MVD satisfaction test on concrete relation instances (used by
+  the property tests to cross-validate the structural Theorem 5.3
+  detector in :mod:`repro.decomposition.mvd`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class FD:
+    """A functional dependency ``lhs -> rhs`` over attribute names."""
+
+    lhs: frozenset[str]
+    rhs: frozenset[str]
+
+    @classmethod
+    def of(cls, lhs: Iterable[str], rhs: Iterable[str]) -> "FD":
+        return cls(frozenset(lhs), frozenset(rhs))
+
+    def __str__(self) -> str:
+        return f"{{{','.join(sorted(self.lhs))}}} -> {{{','.join(sorted(self.rhs))}}}"
+
+
+def attribute_closure(attributes: Iterable[str], fds: Iterable[FD]) -> frozenset[str]:
+    """The closure X+ of an attribute set under a set of FDs."""
+    closure = set(attributes)
+    fd_list = list(fds)
+    changed = True
+    while changed:
+        changed = False
+        for fd in fd_list:
+            if fd.lhs <= closure and not fd.rhs <= closure:
+                closure |= fd.rhs
+                changed = True
+    return frozenset(closure)
+
+
+def is_superkey(attributes: Iterable[str], all_attributes: Iterable[str], fds: Iterable[FD]) -> bool:
+    return attribute_closure(attributes, fds) >= frozenset(all_attributes)
+
+
+def candidate_keys(all_attributes: Sequence[str], fds: Iterable[FD]) -> list[frozenset[str]]:
+    """All minimal keys, by increasing size (exponential; attrs are few)."""
+    attrs = list(all_attributes)
+    fd_list = list(fds)
+    keys: list[frozenset[str]] = []
+    for size in range(1, len(attrs) + 1):
+        for combo in combinations(attrs, size):
+            candidate = frozenset(combo)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey(candidate, attrs, fd_list):
+                keys.append(candidate)
+    return keys
+
+
+def violates_bcnf(all_attributes: Sequence[str], fds: Iterable[FD]) -> FD | None:
+    """Return a witnessing FD when the schema is not in BCNF, else None."""
+    fd_list = list(fds)
+    for fd in fd_list:
+        if fd.rhs <= fd.lhs:
+            continue  # trivial
+        if not is_superkey(fd.lhs, all_attributes, fd_list):
+            return fd
+    return None
+
+
+def is_bcnf(all_attributes: Sequence[str], fds: Iterable[FD]) -> bool:
+    return violates_bcnf(all_attributes, fds) is None
+
+
+# ----------------------------------------------------------------------
+# Instance-level dependency checks (ground truth for property tests)
+# ----------------------------------------------------------------------
+
+Row = tuple
+
+
+def relation_satisfies_fd(
+    rows: Iterable[Row], columns: Sequence[str], lhs: Iterable[str], rhs: Iterable[str]
+) -> bool:
+    """Does a concrete relation instance satisfy ``lhs -> rhs``?"""
+    index = {name: position for position, name in enumerate(columns)}
+    lhs_pos = [index[name] for name in lhs]
+    rhs_pos = [index[name] for name in rhs]
+    seen: dict[tuple, tuple] = {}
+    for row in rows:
+        key = tuple(row[p] for p in lhs_pos)
+        value = tuple(row[p] for p in rhs_pos)
+        if key in seen and seen[key] != value:
+            return False
+        seen[key] = value
+    return True
+
+
+def relation_satisfies_mvd(
+    rows: Iterable[Row], columns: Sequence[str], lhs: Iterable[str], mid: Iterable[str]
+) -> bool:
+    """Does a concrete relation instance satisfy the MVD ``lhs ->> mid``?
+
+    Uses the exchange property: grouping by ``lhs``, the projection on
+    (``mid``, rest) must equal the cross product of the ``mid`` projection
+    and the rest projection within each group.
+    """
+    index = {name: position for position, name in enumerate(columns)}
+    lhs_pos = [index[name] for name in lhs]
+    mid_pos = [index[name] for name in mid]
+    rest_pos = [
+        position
+        for name, position in index.items()
+        if name not in set(lhs) and name not in set(mid)
+    ]
+    groups: dict[tuple, tuple[set, set, set]] = {}
+    for row in rows:
+        key = tuple(row[p] for p in lhs_pos)
+        mids, rests, pairs = groups.setdefault(key, (set(), set(), set()))
+        mid_value = tuple(row[p] for p in mid_pos)
+        rest_value = tuple(row[p] for p in rest_pos)
+        mids.add(mid_value)
+        rests.add(rest_value)
+        pairs.add((mid_value, rest_value))
+    for mids, rests, pairs in groups.values():
+        if len(pairs) != len(mids) * len(rests):
+            return False
+    return True
+
+
+def mvd_is_trivial(
+    all_attributes: Sequence[str], lhs: Iterable[str], mid: Iterable[str]
+) -> bool:
+    """An MVD X ->> Y is trivial when Y <= X or X u Y covers everything."""
+    lhs_set, mid_set = frozenset(lhs), frozenset(mid)
+    return mid_set <= lhs_set or (lhs_set | mid_set) >= frozenset(all_attributes)

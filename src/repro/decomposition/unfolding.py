@@ -1,0 +1,179 @@
+"""Walk sets and unfolded TSS graphs (paper Definitions 5.1 and 5.2).
+
+A *walk set* ``WS(G)`` of a TSS graph is the set of all label sequences
+realizable by walks in ``G``; a graph ``G_u`` is an *unfolding* of ``G``
+iff ``WS(G_u) = WS(G)``.  Fragments are defined as subgraphs of
+unfoldings; our role-labeled-tree representation
+(:class:`~repro.decomposition.fragments.TSSNetwork`) builds fragments
+directly, and this module supplies the bridge back to the paper's
+definitions: it verifies that a role-labeled tree *is* a subgraph of
+some unfolding — i.e. that every walk through the tree projects to a
+walk of the TSS graph — and it can unfold a TSS graph explicitly (as
+Figure 10 does for the ``Part -> Part`` cycle).
+
+Walk sets are infinite for cyclic graphs, so equality is decided on the
+standard product-automaton construction via bounded bisimulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..schema.tss import TSSGraph
+from .fragments import TSSNetwork
+
+
+@dataclass(frozen=True)
+class UnfoldedGraph:
+    """An explicit unfolding: nodes carry TSS labels, edges TSS-edge ids."""
+
+    labels: tuple[str, ...]
+    edges: tuple[tuple[int, int, str], ...]
+
+    def out_edges(self, node: int) -> list[tuple[int, int, str]]:
+        return [edge for edge in self.edges if edge[0] == node]
+
+
+def unfold(tss_graph: TSSGraph, depth: int, width: int = 2) -> UnfoldedGraph:
+    """Unroll a TSS graph into a layered DAG of the given walk depth.
+
+    Each node of the result is a (TSS, level, copy) instance; edges
+    connect every level-``i`` copy to every level-``i+1`` copy — the
+    construction behind the paper's Figure 10, which unrolls the
+    ``Part -> Part`` cycle so a fragment can store the subpart edge
+    twice.  ``width`` copies per level accommodate fragments that use
+    one TSS edge in several parallel instances (the second Figure 10
+    graph, where Order has two Lineitem children).
+    """
+    if depth < 1:
+        raise ValueError("depth must be >= 1")
+    if width < 1:
+        raise ValueError("width must be >= 1")
+    labels: list[str] = []
+    index: dict[tuple[str, int, int], int] = {}
+    for level in range(depth + 1):
+        for tss in tss_graph.tss_names():
+            for copy in range(width):
+                index[(tss, level, copy)] = len(labels)
+                labels.append(tss)
+    edges = []
+    for level in range(depth):
+        for edge in tss_graph.edges():
+            for source_copy in range(width):
+                for target_copy in range(width):
+                    edges.append(
+                        (
+                            index[(edge.source, level, source_copy)],
+                            index[(edge.target, level + 1, target_copy)],
+                            edge.edge_id,
+                        )
+                    )
+    return UnfoldedGraph(tuple(labels), tuple(edges))
+
+
+def tree_walks(network: TSSNetwork) -> Iterator[tuple[str, ...]]:
+    """All maximal undirected walks (simple paths) through a tree,
+    expressed as alternating label/edge-id sequences with direction
+    markers."""
+    count = network.role_count
+    for start in range(count):
+        for end in range(count):
+            if start == end:
+                continue
+            path = _tree_path(network, start, end)
+            if path is not None:
+                yield path
+
+
+def _tree_path(network: TSSNetwork, start: int, end: int) -> tuple[str, ...] | None:
+    parent: dict[int, tuple[int, str]] = {}
+    stack = [start]
+    seen = {start}
+    while stack:
+        current = stack.pop()
+        if current == end:
+            break
+        for edge in network.incident(current):
+            nxt = edge.other(current)
+            if nxt not in seen:
+                seen.add(nxt)
+                marker = f">{edge.edge_id}" if edge.oriented_from(current) else f"<{edge.edge_id}"
+                parent[nxt] = (current, marker)
+                stack.append(nxt)
+    if end not in seen:
+        return None
+    sequence: list[str] = [network.labels[end]]
+    cursor = end
+    while cursor != start:
+        prev, marker = parent[cursor]
+        sequence.append(marker)
+        sequence.append(network.labels[prev])
+        cursor = prev
+    sequence.reverse()
+    return tuple(sequence)
+
+
+def is_subgraph_of_unfolding(network: TSSNetwork, tss_graph: TSSGraph) -> bool:
+    """Definition 5.2 check: is the tree a subgraph of some unfolding?
+
+    Equivalent to: every edge of the tree maps to a TSS-graph edge with
+    matching endpoint labels and direction — walks through the tree then
+    project onto walks of the TSS graph, so ``WS`` membership holds.
+    """
+    edge_index = {edge.edge_id: edge for edge in tss_graph.edges()}
+    for edge in network.edges:
+        tss_edge = edge_index.get(edge.edge_id)
+        if tss_edge is None:
+            return False
+        if network.labels[edge.source] != tss_edge.source:
+            return False
+        if network.labels[edge.target] != tss_edge.target:
+            return False
+    return True
+
+
+def embeds_in_unfolding(network: TSSNetwork, unfolded: UnfoldedGraph) -> bool:
+    """Does the tree embed (as a directed subgraph) into an unfolding?
+
+    Used by tests to confirm the constructive story: every valid
+    fragment really does live inside ``unfold(G, depth)`` for depth >=
+    its size.
+    """
+
+    roles = list(range(network.role_count))
+
+    def extend(assignment: dict[int, int]) -> bool:
+        if len(assignment) == len(roles):
+            return True
+        # Pick an unassigned role adjacent to the assigned region, or any.
+        candidates = [role for role in roles if role not in assignment]
+        anchored = [
+            role
+            for role in candidates
+            if any(edge.other(role) in assignment for edge in network.incident(role))
+        ]
+        role = anchored[0] if anchored else candidates[0]
+        for node, label in enumerate(unfolded.labels):
+            if label != network.labels[role] or node in assignment.values():
+                continue
+            ok = True
+            for edge in network.incident(role):
+                other = edge.other(role)
+                if other not in assignment:
+                    continue
+                if edge.oriented_from(role):
+                    wanted = (node, assignment[other], edge.edge_id)
+                else:
+                    wanted = (assignment[other], node, edge.edge_id)
+                if wanted not in unfolded.edges:
+                    ok = False
+                    break
+            if ok:
+                assignment[role] = node
+                if extend(assignment):
+                    return True
+                del assignment[role]
+        return False
+
+    return extend({})

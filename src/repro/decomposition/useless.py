@@ -1,0 +1,105 @@
+"""Useless-fragment rules (paper Section 5).
+
+Two classes of fragments can never efficiently evaluate any candidate TSS
+network because no XML instance conforming to the schema can populate
+them; the decomposition algorithms skip them entirely:
+
+1. **Choice rule** — a fragment whose node fans out through a *choice*
+   schema node to two alternatives (e.g. ``Pa <- L -> Pr`` through the
+   choice node ``line``): the instance has exactly one child there.
+   Generalized via schema-path analysis: two edge instances out of one
+   node are unsatisfiable when their paths diverge at a choice node via
+   containment hops, or coincide with no to-many hop to split on.
+2. **Double-parent rule** — a fragment node entered by two containment-
+   terminal edges (e.g. ``L1 -> Pr <- L2``): an XML element has a single
+   containment parent.
+
+The same predicates are reused by the CN generator at the schema level.
+"""
+
+from __future__ import annotations
+
+from ..schema.tss import TSSGraph, edges_conflict_at_source
+from .fragments import TSSNetwork
+
+
+def source_end_conflict(network: TSSNetwork, role: int, tss_graph: TSSGraph) -> bool:
+    """Does ``role`` have two outgoing edge instances that conflict?
+
+    Covers both the choice rule and over-use of a bottlenecked edge
+    (more parallel instances of one TSS edge than ``max_parallel``).
+    """
+    outgoing = [edge for edge in network.incident(role) if edge.oriented_from(role)]
+    for i, edge_a in enumerate(outgoing):
+        tss_edge_a = tss_graph.edge(edge_a.edge_id)
+        same = sum(1 for e in outgoing if e.edge_id == edge_a.edge_id)
+        limit = tss_edge_a.max_parallel(tss_graph.schema)
+        if limit != -1 and same > limit:
+            return True
+        for edge_b in outgoing[i + 1:]:
+            tss_edge_b = tss_graph.edge(edge_b.edge_id)
+            if edges_conflict_at_source(tss_edge_a, tss_edge_b, tss_graph.schema):
+                return True
+    return False
+
+
+def target_end_conflict(network: TSSNetwork, role: int, tss_graph: TSSGraph) -> bool:
+    """Does ``role`` acquire two containment parents (double-parent rule)?"""
+    parents = 0
+    for edge in network.incident(role):
+        if edge.oriented_from(role):
+            continue
+        if tss_graph.edge(edge.edge_id).terminal_containment:
+            parents += 1
+            if parents >= 2:
+                return True
+    return False
+
+
+def conflicting_roles(network: TSSNetwork, tss_graph: TSSGraph) -> list[int]:
+    """All roles at which the network is unsatisfiable."""
+    return [
+        role
+        for role in range(network.role_count)
+        if source_end_conflict(network, role, tss_graph)
+        or target_end_conflict(network, role, tss_graph)
+    ]
+
+
+def is_useless(network: TSSNetwork, tss_graph: TSSGraph) -> bool:
+    """Paper Section 5: should this fragment never be built?"""
+    return bool(conflicting_roles(network, tss_graph))
+
+
+def attachment_allowed(
+    network: TSSNetwork,
+    role: int,
+    new_edge_id: str,
+    outgoing: bool,
+    tss_graph: TSSGraph,
+) -> bool:
+    """Fast check used during enumeration: may ``new_edge_id`` attach here?
+
+    ``outgoing`` says whether ``role`` would be the source end of the new
+    edge instance.  The check only inspects ``role``'s local incidences,
+    which is sufficient because both useless rules are local.
+    """
+    new_edge = tss_graph.edge(new_edge_id)
+    if outgoing:
+        existing = [e for e in network.incident(role) if e.oriented_from(role)]
+        same = sum(1 for e in existing if e.edge_id == new_edge_id) + 1
+        limit = new_edge.max_parallel(tss_graph.schema)
+        if limit != -1 and same > limit:
+            return False
+        for edge in existing:
+            if edges_conflict_at_source(
+                tss_graph.edge(edge.edge_id), new_edge, tss_graph.schema
+            ):
+                return False
+        return True
+    if not new_edge.terminal_containment:
+        return True
+    for edge in network.incident(role):
+        if not edge.oriented_from(role) and tss_graph.edge(edge.edge_id).terminal_containment:
+            return False
+    return True

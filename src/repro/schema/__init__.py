@@ -1,0 +1,32 @@
+"""Schema substrate: schema graphs, conformance, TSS graphs, catalogs."""
+
+from .catalogs import Catalog, dblp_catalog, get_catalog, tpch_catalog, xmark_catalog
+from .graph import NodeType, SchemaEdge, SchemaError, SchemaGraph, SchemaNode, UNBOUNDED
+from .tss import TSSEdge, TSSGraph, TSSNode, derive_tss_graph, edges_conflict_at_source
+from .validate import Violation, check_conformance, validate
+from .xsd import XSDError, export_xsd, parse_xsd
+
+__all__ = [
+    "Catalog",
+    "NodeType",
+    "SchemaEdge",
+    "SchemaError",
+    "SchemaGraph",
+    "SchemaNode",
+    "TSSEdge",
+    "TSSGraph",
+    "TSSNode",
+    "UNBOUNDED",
+    "Violation",
+    "XSDError",
+    "check_conformance",
+    "export_xsd",
+    "parse_xsd",
+    "dblp_catalog",
+    "derive_tss_graph",
+    "edges_conflict_at_source",
+    "get_catalog",
+    "tpch_catalog",
+    "xmark_catalog",
+    "validate",
+]

@@ -1,0 +1,214 @@
+"""Built-in schema catalogs: the paper's two running examples.
+
+* :func:`tpch_catalog` — the TPC-H-like schema of Figures 1, 5, 6.
+* :func:`dblp_catalog` — the DBLP schema of Figure 14 (used in Section 7).
+
+The paper reuses tags such as ``name`` and ``date`` under different
+parents; our schema graph identifies element types by tag, so the catalogs
+use unique tags (``pname``, ``pa_name``, ...).  The synthetic data
+generators in :mod:`repro.workloads` emit matching tags, so nothing is
+lost — only spellings differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..xmlgraph.model import EdgeKind
+from .graph import NodeType, SchemaGraph, UNBOUNDED
+from .tss import TSSGraph, derive_tss_graph
+
+
+@dataclass(frozen=True)
+class Catalog:
+    """A schema graph bundled with its TSS graph and keyword surface.
+
+    Attributes:
+        name: Catalog identifier.
+        schema: The schema graph.
+        tss: The derived TSS graph.
+        text_nodes: Schema nodes whose instance values carry keywords
+            (the master index only indexes these).
+    """
+
+    name: str
+    schema: SchemaGraph
+    tss: TSSGraph
+    text_nodes: frozenset[str]
+
+
+def tpch_catalog() -> Catalog:
+    """The TPC-H-like catalog of the paper's Figures 1, 5 and 6.
+
+    Dummy schema nodes: ``supplier``, ``line`` (the only choice node) and
+    ``sub``.  TSSs: Person, Service_call, Order, Lineitem, Part, Product.
+    """
+    schema = SchemaGraph()
+    for name in (
+        "person", "pname", "nation",
+        "service_call", "sc_date", "sc_descr",
+        "order", "o_date",
+        "lineitem", "quantity", "ship",
+        "supplier",
+        "part", "pa_key", "pa_name",
+        "sub",
+        "product", "prodkey", "pr_descr",
+    ):
+        schema.add_node(name)
+    schema.add_node("line", NodeType.CHOICE)
+
+    add = schema.add_edge
+    add("person", "pname", maxoccurs=1)
+    add("person", "nation", maxoccurs=1)
+    add("person", "order")
+    add("person", "service_call")
+    add("service_call", "sc_date", maxoccurs=1)
+    add("service_call", "sc_descr", maxoccurs=1)
+    add("service_call", "product", EdgeKind.REFERENCE)
+    add("order", "o_date", maxoccurs=1)
+    add("order", "lineitem")
+    add("lineitem", "quantity", maxoccurs=1)
+    add("lineitem", "ship", maxoccurs=1)
+    add("lineitem", "supplier", maxoccurs=1)
+    add("supplier", "person", EdgeKind.REFERENCE)
+    add("lineitem", "line", maxoccurs=1)
+    # The line choice REFERENCES its part or product (the paper's
+    # LPa_ref / LPr_ref fragments in Figure 8): several lineitems may
+    # share one part, which is what enables the Figure 2 multivalued-
+    # dependency example.  Top-level parts and products are graph roots.
+    add("line", "part", EdgeKind.REFERENCE)
+    add("line", "product", EdgeKind.REFERENCE)
+    add("part", "pa_key", maxoccurs=1)
+    add("part", "pa_name", maxoccurs=1)
+    add("part", "sub")
+    add("sub", "part", maxoccurs=1)
+    add("product", "prodkey", maxoccurs=1)
+    add("product", "pr_descr", maxoccurs=1)
+
+    mapping = {
+        "person": "Person", "pname": "Person", "nation": "Person",
+        "service_call": "Service_call", "sc_date": "Service_call",
+        "sc_descr": "Service_call",
+        "order": "Order", "o_date": "Order",
+        "lineitem": "Lineitem", "quantity": "Lineitem", "ship": "Lineitem",
+        "part": "Part", "pa_key": "Part", "pa_name": "Part",
+        "product": "Product", "prodkey": "Product", "pr_descr": "Product",
+    }
+    semantics = {
+        ("Person", "Order"): ("placed", "placed by"),
+        ("Person", "Service_call"): ("issued", "issued by"),
+        ("Service_call", "Product"): ("concerns", "subject of"),
+        ("Order", "Lineitem"): ("contains", "is contained"),
+        ("Lineitem", "Person"): ("supplied by", "supplier"),
+        ("Lineitem", "Part"): ("line", "line of"),
+        ("Lineitem", "Product"): ("line", "line of"),
+        ("Part", "Part"): ("sub", "sub of"),
+    }
+    tss = derive_tss_graph(schema, mapping, semantics)
+    text_nodes = frozenset(
+        {"pname", "nation", "sc_descr", "pa_name", "pr_descr", "o_date",
+         "ship", "sc_date", "pa_key", "prodkey", "quantity"}
+    )
+    return Catalog("tpch", schema, tss, text_nodes)
+
+
+def dblp_catalog() -> Catalog:
+    """The DBLP catalog of the paper's Figure 14 (Section 7 experiments).
+
+    TSSs: Conference, Year, Paper, Author.  Papers reference their authors
+    (IDREFS) and cite other papers (IDREFS); in Section 7 the paper adds
+    synthetic citations averaging 20 per paper, which our DBLP workload
+    generator mirrors.
+    """
+    schema = SchemaGraph()
+    for name in (
+        "conference", "confyear", "paper", "title", "pages", "url",
+        "author", "aname",
+    ):
+        schema.add_node(name)
+
+    add = schema.add_edge
+    add("conference", "confyear")
+    add("confyear", "paper")
+    add("paper", "title", maxoccurs=1)
+    add("paper", "pages", maxoccurs=1)
+    add("paper", "url", maxoccurs=1)
+    add("paper", "author", EdgeKind.REFERENCE, maxoccurs=UNBOUNDED)
+    add("paper", "paper", EdgeKind.REFERENCE, maxoccurs=UNBOUNDED)
+    add("author", "aname", maxoccurs=1)
+
+    mapping = {
+        "conference": "Conference",
+        "confyear": "Year",
+        "paper": "Paper", "title": "Paper", "pages": "Paper", "url": "Paper",
+        "author": "Author", "aname": "Author",
+    }
+    semantics = {
+        ("Conference", "Year"): ("in year", "of conference"),
+        ("Year", "Paper"): ("contains paper", "in issue"),
+        ("Paper", "Author"): ("by author", "of paper"),
+        ("Paper", "Paper"): ("cites", "is cited by"),
+    }
+    tss = derive_tss_graph(schema, mapping, semantics)
+    text_nodes = frozenset({"conference", "confyear", "title", "aname", "pages"})
+    return Catalog("dblp", schema, tss, text_nodes)
+
+
+def xmark_catalog() -> Catalog:
+    """An XMark-style auction catalog (XML-benchmark classic).
+
+    Not from the paper — included to demonstrate that the pipeline is
+    schema-agnostic.  Persons sell items through auctions; auctions
+    contain bids; bids and auctions reference persons, auctions
+    reference items.  Auctions, items and persons are graph roots.
+    """
+    schema = SchemaGraph()
+    for name in (
+        "person", "p_name", "p_country",
+        "item", "i_name", "i_descr",
+        "auction", "a_date",
+        "bid", "b_amount",
+    ):
+        schema.add_node(name)
+
+    add = schema.add_edge
+    add("person", "p_name", maxoccurs=1)
+    add("person", "p_country", maxoccurs=1)
+    add("item", "i_name", maxoccurs=1)
+    add("item", "i_descr", maxoccurs=1)
+    add("auction", "a_date", maxoccurs=1)
+    add("auction", "bid")
+    add("auction", "item", EdgeKind.REFERENCE)
+    add("auction", "person", EdgeKind.REFERENCE)  # the seller
+    add("bid", "b_amount", maxoccurs=1)
+    add("bid", "person", EdgeKind.REFERENCE)  # the bidder
+
+    mapping = {
+        "person": "Person", "p_name": "Person", "p_country": "Person",
+        "item": "Item", "i_name": "Item", "i_descr": "Item",
+        "auction": "Auction", "a_date": "Auction",
+        "bid": "Bid", "b_amount": "Bid",
+    }
+    semantics = {
+        ("Auction", "Item"): ("sells", "sold in"),
+        ("Auction", "Person"): ("seller", "sells via"),
+        ("Auction", "Bid"): ("received", "placed in"),
+        ("Bid", "Person"): ("bidder", "bid"),
+    }
+    tss = derive_tss_graph(schema, mapping, semantics)
+    text_nodes = frozenset(
+        {"p_name", "p_country", "i_name", "i_descr", "a_date", "b_amount"}
+    )
+    return Catalog("xmark", schema, tss, text_nodes)
+
+
+_CATALOGS = {"tpch": tpch_catalog, "dblp": dblp_catalog, "xmark": xmark_catalog}
+
+
+def get_catalog(name: str) -> Catalog:
+    """Look a built-in catalog up by name (``tpch`` or ``dblp``)."""
+    try:
+        factory = _CATALOGS[name]
+    except KeyError:
+        raise KeyError(f"unknown catalog {name!r}; choose from {sorted(_CATALOGS)}") from None
+    return factory()

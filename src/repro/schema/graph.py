@@ -1,0 +1,178 @@
+"""Schema graphs (paper Section 3).
+
+A schema graph describes the structure of XML graphs.  It resembles an XML
+Schema definition but keeps only the constructs the paper exploits for
+optimization: *all* vs *choice* nodes, containment vs (typed) reference
+edges, and ``maxoccurs`` bounds on containment edges.
+
+Key instance-level consequences encoded here (used by the CN generator and
+the useless-fragment rules):
+
+* an instance node has at most **one containment parent** overall;
+* an instance node of a **choice** type has at most one containment child
+  across all alternatives;
+* a containment edge with ``maxoccurs = k`` allows at most ``k`` children
+  of that type per parent;
+* a reference edge is single-valued per source node (IDREF, not IDREFS)
+  unless declared with ``maxoccurs`` > 1, while arbitrarily many sources
+  may point at the same target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..xmlgraph.model import EdgeKind
+
+UNBOUNDED = -1
+"""Sentinel for an unbounded ``maxoccurs``."""
+
+
+class NodeType(enum.Enum):
+    """Content-model type of a schema node."""
+
+    ALL = "all"
+    CHOICE = "choice"
+
+
+@dataclass(frozen=True)
+class SchemaNode:
+    """A node of the schema graph: an element type."""
+
+    name: str
+    node_type: NodeType = NodeType.ALL
+
+    @property
+    def is_choice(self) -> bool:
+        return self.node_type is NodeType.CHOICE
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """A typed edge of the schema graph."""
+
+    source: str
+    target: str
+    kind: EdgeKind = EdgeKind.CONTAINMENT
+    maxoccurs: int = UNBOUNDED
+
+    @property
+    def is_containment(self) -> bool:
+        return self.kind is EdgeKind.CONTAINMENT
+
+    @property
+    def is_reference(self) -> bool:
+        return self.kind is EdgeKind.REFERENCE
+
+    @property
+    def occurs_once(self) -> bool:
+        """True when at most one target instance may hang off a source."""
+        return self.maxoccurs == 1
+
+    def __str__(self) -> str:
+        arrow = "->" if self.is_containment else "~>"
+        return f"{self.source}{arrow}{self.target}"
+
+
+class SchemaError(Exception):
+    """Raised on malformed schema graphs or schema violations."""
+
+
+@dataclass
+class SchemaGraph:
+    """A directed graph of element types."""
+
+    _nodes: dict[str, SchemaNode] = field(default_factory=dict)
+    _out: dict[str, list[SchemaEdge]] = field(default_factory=dict)
+    _in: dict[str, list[SchemaEdge]] = field(default_factory=dict)
+
+    def add_node(self, name: str, node_type: NodeType = NodeType.ALL) -> SchemaNode:
+        if name in self._nodes:
+            raise SchemaError(f"duplicate schema node {name!r}")
+        node = SchemaNode(name, node_type)
+        self._nodes[name] = node
+        self._out[name] = []
+        self._in[name] = []
+        return node
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        kind: EdgeKind = EdgeKind.CONTAINMENT,
+        maxoccurs: int | None = None,
+    ) -> SchemaEdge:
+        """Add a typed schema edge.
+
+        ``maxoccurs=None`` picks the natural default: unbounded for
+        containment, single-valued (IDREF, not IDREFS) for references.
+        Pass ``UNBOUNDED`` explicitly for IDREFS-style multi-references.
+        """
+        if source not in self._nodes:
+            raise SchemaError(f"unknown schema node {source!r}")
+        if target not in self._nodes:
+            raise SchemaError(f"unknown schema node {target!r}")
+        if maxoccurs is None:
+            maxoccurs = UNBOUNDED if kind is EdgeKind.CONTAINMENT else 1
+        if maxoccurs != UNBOUNDED and maxoccurs < 1:
+            raise SchemaError(f"maxoccurs must be positive or UNBOUNDED, got {maxoccurs}")
+        existing = self.find_edge(source, target, kind)
+        if existing is not None:
+            raise SchemaError(f"duplicate schema edge {existing}")
+        edge = SchemaEdge(source, target, kind, maxoccurs)
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        return edge
+
+    # ------------------------------------------------------------------
+    def node(self, name: str) -> SchemaNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchemaError(f"unknown schema node {name!r}") from None
+
+    def has_node(self, name: str) -> bool:
+        return name in self._nodes
+
+    def nodes(self) -> Iterator[SchemaNode]:
+        return iter(self._nodes.values())
+
+    def node_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def edges(self) -> Iterator[SchemaEdge]:
+        for edges in self._out.values():
+            yield from edges
+
+    def out_edges(self, name: str) -> list[SchemaEdge]:
+        return list(self._out.get(name, ()))
+
+    def in_edges(self, name: str) -> list[SchemaEdge]:
+        return list(self._in.get(name, ()))
+
+    def incident_edges(self, name: str) -> list[SchemaEdge]:
+        return self.out_edges(name) + self.in_edges(name)
+
+    def find_edge(
+        self, source: str, target: str, kind: EdgeKind | None = None
+    ) -> SchemaEdge | None:
+        for edge in self._out.get(source, ()):
+            if edge.target == target and (kind is None or edge.kind is kind):
+                return edge
+        return None
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(edges) for edges in self._out.values())
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SchemaGraph(nodes={self.node_count}, edges={self.edge_count})"

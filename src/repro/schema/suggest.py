@@ -1,0 +1,115 @@
+"""Heuristic TSS-mapping suggestion for administrators (paper Section 3).
+
+The paper has an administrator split the schema graph into target schema
+segments — "minimal self-contained information pieces".  This module
+proposes such a mapping automatically, following the paper's own
+intuition for the TPC-H and DBLP decompositions:
+
+* a schema node whose only role is to *connect* others — no data-bearing
+  children, at most pass-through edges — is a **dummy** (``supplier``,
+  ``line``, ``sub``);
+* a leaf node reachable from a parent by a ``maxoccurs = 1`` containment
+  edge is an *attribute* of that parent and joins its TSS (``pname``,
+  ``nation``, ``title``: "large enough to be meaningful and able to
+  semantically identify the node while at the same time as small as
+  possible");
+* every remaining node anchors its own TSS.
+
+The suggestion is a starting point the administrator can edit before
+calling :func:`~repro.schema.tss.derive_tss_graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .graph import SchemaGraph
+
+
+@dataclass
+class TSSSuggestion:
+    """A proposed target decomposition."""
+
+    mapping: dict[str, str]
+    dummies: list[str]
+    rationale: dict[str, str] = field(default_factory=dict)
+
+    def tss_names(self) -> list[str]:
+        return sorted(set(self.mapping.values()))
+
+    def describe(self) -> str:
+        lines = []
+        for tss in self.tss_names():
+            members = sorted(n for n, t in self.mapping.items() if t == tss)
+            lines.append(f"{tss}: {', '.join(members)}")
+        if self.dummies:
+            lines.append(f"dummies: {', '.join(sorted(self.dummies))}")
+        return "\n".join(lines)
+
+
+def _is_leaf(schema: SchemaGraph, name: str) -> bool:
+    return not schema.out_edges(name)
+
+
+def _is_connector(schema: SchemaGraph, name: str, text_nodes: frozenset[str]) -> bool:
+    """A node that only routes connections: no data leaves hang off it."""
+    if name in text_nodes or _is_leaf(schema, name):
+        return False
+    for edge in schema.out_edges(name):
+        if _is_leaf(schema, edge.target) and edge.is_containment:
+            return False  # owns an attribute leaf: it carries information
+    # Connectors have low fan: one or two outgoing routes, and are always
+    # contained (never roots), like supplier / line / sub.
+    has_containment_parent = any(
+        edge.is_containment for edge in schema.in_edges(name)
+    )
+    return has_containment_parent and len(schema.out_edges(name)) <= 2
+
+
+def suggest_tss_mapping(
+    schema: SchemaGraph, text_nodes: frozenset[str] | None = None
+) -> TSSSuggestion:
+    """Propose a target decomposition of a schema graph."""
+    text_nodes = text_nodes or frozenset()
+    dummies = [
+        name for name in schema.node_names() if _is_connector(schema, name, text_nodes)
+    ]
+    dummy_set = set(dummies)
+    mapping: dict[str, str] = {}
+    rationale: dict[str, str] = {}
+
+    def tss_name_for(anchor: str) -> str:
+        return anchor.capitalize()
+
+    # Anchors: non-dummy, non-attribute nodes.
+    attribute_of: dict[str, str] = {}
+    for name in schema.node_names():
+        if name in dummy_set:
+            continue
+        for edge in schema.out_edges(name):
+            if (
+                edge.is_containment
+                and edge.occurs_once
+                and _is_leaf(schema, edge.target)
+                and edge.target not in dummy_set
+            ):
+                attribute_of[edge.target] = name
+
+    for name in schema.node_names():
+        if name in dummy_set:
+            rationale[name] = "connector-only node: proposed dummy"
+            continue
+        if name in attribute_of:
+            continue  # assigned with its anchor below
+        mapping[name] = tss_name_for(name)
+        rationale[name] = "anchors its own target schema segment"
+    for attribute, anchor in attribute_of.items():
+        if anchor in mapping:
+            mapping[attribute] = mapping[anchor]
+            rationale[attribute] = (
+                f"single-valued leaf of {anchor!r}: identifying attribute"
+            )
+        else:  # anchor itself was classified as dummy; keep attribute standalone
+            mapping[attribute] = tss_name_for(attribute)
+            rationale[attribute] = "leaf without an anchored parent"
+    return TSSSuggestion(mapping=mapping, dummies=dummies, rationale=rationale)

@@ -1,0 +1,377 @@
+"""Target Schema Segment (TSS) graphs (paper Section 3).
+
+The administrator partitions the *mapped* schema nodes into target schema
+segments — minimal self-contained information pieces — via a partial
+mapping from schema nodes to TSS names.  Schema nodes left out of the
+mapping are **dummy schema nodes** (e.g. ``supplier``, ``sub``, ``line`` in
+the TPC-H schema): they carry no information of their own and only connect
+target objects.
+
+A TSS edge ``(T, T')`` is created whenever the schema graph connects a
+member of ``T`` to a member of ``T'`` directly or through a directed path
+of dummy schema nodes.  Each TSS edge keeps:
+
+* its **schema path** (provenance) — needed to score results in schema-graph
+  edges, to reduce candidate networks, and to decide instance-level
+  satisfiability;
+* forward/backward **multiplicity** derived from maxoccurs, choice nodes,
+  parent uniqueness and single-valued IDREFs — this drives the MVD
+  classification of fragments (paper Theorem 5.3);
+* optional **semantic annotations** (one per direction) shown on
+  presentation-graph edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from .graph import SchemaEdge, SchemaError, SchemaGraph, UNBOUNDED
+
+
+@dataclass(frozen=True)
+class TSSNode:
+    """A target schema segment.
+
+    Attributes:
+        name: The TSS name (typically the most representative member tag).
+        schema_nodes: Names of the schema nodes mapped to this TSS.
+        root: The member schema node with no containment parent inside the
+            TSS; target-object instances are rooted there.
+        member_depths: Depth of each member below ``root`` (in containment
+            edges) — the cost a keyword matched in that member adds to the
+            MTNN score.
+    """
+
+    name: str
+    schema_nodes: frozenset[str]
+    root: str
+    member_depths: tuple[tuple[str, int], ...]
+
+    def depth_of(self, schema_node: str) -> int:
+        for member, depth in self.member_depths:
+            if member == schema_node:
+                return depth
+        raise SchemaError(f"{schema_node!r} is not a member of TSS {self.name!r}")
+
+
+def _hop_forward_many(schema: SchemaGraph, edge: SchemaEdge) -> bool:
+    """Can one source instance connect forward to many target instances?"""
+    if schema.node(edge.source).is_choice and edge.is_containment:
+        # A choice node has exactly one containment child in an instance.
+        return False
+    return edge.maxoccurs == UNBOUNDED or edge.maxoccurs > 1
+
+
+def _hop_backward_many(edge: SchemaEdge) -> bool:
+    """Can one target instance be reached backward from many sources?"""
+    # Containment: an element has a unique parent.  Reference: arbitrarily
+    # many elements may point at the same target.
+    return edge.is_reference
+
+
+@dataclass(frozen=True)
+class TSSEdge:
+    """A directed edge of the TSS graph, with schema-path provenance."""
+
+    edge_id: str
+    source: str
+    target: str
+    path: tuple[SchemaEdge, ...]
+    forward_label: str = ""
+    backward_label: str = ""
+
+    @property
+    def schema_length(self) -> int:
+        """Number of schema-graph edges this TSS edge stands for."""
+        return len(self.path)
+
+    @property
+    def terminal_containment(self) -> bool:
+        """True when the target instance gains its containment parent here.
+
+        Two such edges can never share a target instance (an XML element has
+        at most one parent) — useless-fragment rule 2 and a CN pruning rule.
+        """
+        return self.path[-1].is_containment
+
+    def forward_many(self, schema: SchemaGraph) -> bool:
+        """True when one source target-object may reach many targets."""
+        return any(_hop_forward_many(schema, hop) for hop in self.path)
+
+    def backward_many(self, schema: SchemaGraph) -> bool:
+        """True when one target target-object may be reached by many sources."""
+        return any(_hop_backward_many(hop) for hop in self.path)
+
+    def max_parallel(self, schema: SchemaGraph) -> int:
+        """Max distinct instances of this edge out of one source instance.
+
+        Fan-outs multiply along the path: one part reaches many subparts
+        through many ``sub`` children even though each ``sub`` holds a
+        single part.  Any unbounded hop makes the product unbounded.
+        """
+        product = 1
+        for hop in self.path:
+            if hop.is_containment and schema.node(hop.source).is_choice:
+                hop_limit = 1
+            elif hop.maxoccurs == UNBOUNDED:
+                return UNBOUNDED
+            else:
+                hop_limit = hop.maxoccurs
+            product *= hop_limit
+        return product
+
+    def __str__(self) -> str:
+        return f"{self.source}=>{self.target}"
+
+
+def edges_conflict_at_source(edge_a: TSSEdge, edge_b: TSSEdge, schema: SchemaGraph) -> bool:
+    """Do two distinct edge *instances* out of one source instance conflict?
+
+    Both edges leave the same fragment/CN node (the same target-object
+    instance).  They conflict — i.e. no XML instance can realize both —
+    when their schema paths diverge at a **choice** node via containment
+    hops (the instance has only one child there), or when they never
+    diverge before a to-one bottleneck (the same edge used twice with no
+    to-many hop available to split on).
+    """
+    path_a, path_b = edge_a.path, edge_b.path
+    index = 0
+    while index < len(path_a) and index < len(path_b) and path_a[index] == path_b[index]:
+        # Identical hop so far; a to-many hop lets the two instances split
+        # into different children here, resolving any later choice.
+        if _hop_forward_many(schema, path_a[index]):
+            return False
+        index += 1
+    if index >= len(path_a) or index >= len(path_b):
+        # One path is a prefix of the other (or they are identical) and no
+        # to-many hop was found: two distinct instances are impossible when
+        # the edges coincide, but a strict prefix relation means different
+        # TSS targets, which share the single chain legally.
+        return edge_a.edge_id == edge_b.edge_id
+    hop_a, hop_b = path_a[index], path_b[index]
+    if hop_a.source != hop_b.source:  # pragma: no cover - defensive
+        return False
+    # Divergence at a choice node is exclusive regardless of hop kind:
+    # a line instance holds either its part reference or its product
+    # reference, never both.
+    return schema.node(hop_a.source).is_choice
+
+
+@dataclass
+class TSSGraph:
+    """The graph of target schema segments over a schema graph."""
+
+    schema: SchemaGraph
+    _nodes: dict[str, TSSNode] = field(default_factory=dict)
+    _edges: dict[str, TSSEdge] = field(default_factory=dict)
+    _out: dict[str, list[TSSEdge]] = field(default_factory=dict)
+    _in: dict[str, list[TSSEdge]] = field(default_factory=dict)
+    _tss_of_schema_node: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_tss(self, node: TSSNode) -> None:
+        if node.name in self._nodes:
+            raise SchemaError(f"duplicate TSS {node.name!r}")
+        for member in node.schema_nodes:
+            if member in self._tss_of_schema_node:
+                raise SchemaError(
+                    f"schema node {member!r} already mapped to "
+                    f"{self._tss_of_schema_node[member]!r}"
+                )
+            self._tss_of_schema_node[member] = node.name
+        self._nodes[node.name] = node
+        self._out[node.name] = []
+        self._in[node.name] = []
+
+    def add_edge(self, edge: TSSEdge) -> None:
+        if edge.edge_id in self._edges:
+            raise SchemaError(f"duplicate TSS edge id {edge.edge_id!r}")
+        self._edges[edge.edge_id] = edge
+        self._out[edge.source].append(edge)
+        self._in[edge.target].append(edge)
+
+    # ------------------------------------------------------------------
+    def tss(self, name: str) -> TSSNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise SchemaError(f"unknown TSS {name!r}") from None
+
+    def has_tss(self, name: str) -> bool:
+        return name in self._nodes
+
+    def tss_names(self) -> list[str]:
+        return list(self._nodes)
+
+    def nodes(self) -> Iterator[TSSNode]:
+        return iter(self._nodes.values())
+
+    def edge(self, edge_id: str) -> TSSEdge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise SchemaError(f"unknown TSS edge {edge_id!r}") from None
+
+    def edges(self) -> list[TSSEdge]:
+        return list(self._edges.values())
+
+    def out_edges(self, name: str) -> list[TSSEdge]:
+        return list(self._out.get(name, ()))
+
+    def in_edges(self, name: str) -> list[TSSEdge]:
+        return list(self._in.get(name, ()))
+
+    def incident_edges(self, name: str) -> list[TSSEdge]:
+        return self.out_edges(name) + self.in_edges(name)
+
+    def tss_of(self, schema_node: str) -> str | None:
+        """The TSS a schema node maps to, or ``None`` for dummy nodes."""
+        return self._tss_of_schema_node.get(schema_node)
+
+    def is_dummy(self, schema_node: str) -> bool:
+        self.schema.node(schema_node)
+        return schema_node not in self._tss_of_schema_node
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def min_edge_schema_length(self) -> int:
+        if not self._edges:
+            raise SchemaError("TSS graph has no edges")
+        return min(edge.schema_length for edge in self._edges.values())
+
+    def max_keyword_depth(self) -> int:
+        """Worst-case MTNN cost of locating a keyword inside a TSS."""
+        return max(
+            (depth for node in self._nodes.values() for _, depth in node.member_depths),
+            default=0,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TSSGraph(tss={len(self._nodes)}, edges={len(self._edges)})"
+
+
+def derive_tss_graph(
+    schema: SchemaGraph,
+    mapping: dict[str, str],
+    semantics: dict[tuple[str, str], tuple[str, str]] | None = None,
+) -> TSSGraph:
+    """Derive the TSS graph from a schema graph and a partial node mapping.
+
+    Args:
+        schema: The schema graph.
+        mapping: Partial map ``schema node name -> TSS name``; schema nodes
+            absent from the map are dummy nodes.
+        semantics: Optional ``(source TSS, target TSS) -> (forward label,
+            backward label)`` annotations for presentation.
+
+    Raises:
+        SchemaError: When a TSS's members are not a connected containment
+            subtree of the schema graph, or a dummy path is ambiguous in a
+            way that merges two TSS edges.
+    """
+    semantics = semantics or {}
+    graph = TSSGraph(schema)
+    members_by_tss: dict[str, list[str]] = {}
+    for schema_node, tss_name in mapping.items():
+        schema.node(schema_node)
+        members_by_tss.setdefault(tss_name, []).append(schema_node)
+
+    for tss_name, members in sorted(members_by_tss.items()):
+        graph.add_tss(_build_tss_node(schema, tss_name, members, mapping))
+
+    edge_counter: dict[tuple[str, str], int] = {}
+    for origin in sorted(mapping):
+        source_tss = mapping[origin]
+        for path in _dummy_paths(schema, origin, mapping):
+            target_tss = mapping[path[-1].target]
+            key = (source_tss, target_tss)
+            ordinal = edge_counter.get(key, 0)
+            edge_counter[key] = ordinal + 1
+            suffix = f"~{ordinal}" if ordinal else ""
+            forward, backward = semantics.get(key, ("", ""))
+            graph.add_edge(
+                TSSEdge(
+                    edge_id=f"{source_tss}=>{target_tss}{suffix}",
+                    source=source_tss,
+                    target=target_tss,
+                    path=tuple(path),
+                    forward_label=forward,
+                    backward_label=backward,
+                )
+            )
+    return graph
+
+
+def _build_tss_node(
+    schema: SchemaGraph,
+    tss_name: str,
+    members: list[str],
+    mapping: dict[str, str],
+) -> TSSNode:
+    """Check connectivity of a TSS's members and compute member depths."""
+    member_set = set(members)
+    parents: dict[str, str] = {}
+    for member in members:
+        for edge in schema.in_edges(member):
+            if edge.is_containment and edge.source in member_set:
+                parents[member] = edge.source
+    roots = [m for m in members if m not in parents]
+    if len(roots) != 1:
+        raise SchemaError(
+            f"TSS {tss_name!r} members {sorted(members)} must form a single "
+            f"containment tree; found roots {sorted(roots)}"
+        )
+    root = roots[0]
+    depths: dict[str, int] = {}
+    for member in members:
+        depth, cursor = 0, member
+        seen = {member}
+        while cursor != root:
+            cursor = parents.get(cursor, "")
+            if not cursor or cursor in seen:
+                raise SchemaError(
+                    f"TSS {tss_name!r}: member {member!r} is not connected to "
+                    f"root {root!r} within the TSS"
+                )
+            seen.add(cursor)
+            depth += 1
+        depths[member] = depth
+    return TSSNode(
+        name=tss_name,
+        schema_nodes=frozenset(members),
+        root=root,
+        member_depths=tuple(sorted(depths.items())),
+    )
+
+
+def _dummy_paths(
+    schema: SchemaGraph,
+    origin: str,
+    mapping: dict[str, str],
+) -> Iterator[list[SchemaEdge]]:
+    """Directed schema paths from ``origin`` through dummies to mapped nodes.
+
+    A path stops as soon as it reaches a mapped node.  Edges between two
+    members of the *same* TSS are internal and do not produce TSS edges,
+    except self-loop paths through dummies (e.g. ``part -> sub -> part``)
+    which the paper explicitly models as TSS-graph edges.
+    """
+
+    def walk(node: str, path: list[SchemaEdge], seen: set[str]) -> Iterator[list[SchemaEdge]]:
+        for edge in schema.out_edges(node):
+            target = edge.target
+            if target in mapping:
+                same_tss = mapping[target] == mapping[origin]
+                if same_tss and len(path) == 0 and edge.is_containment:
+                    # Intra-TSS structural edge (e.g. person -> pname).
+                    # Reference edges between members of one TSS (paper
+                    # cites paper) are genuine TSS self-edges and kept.
+                    continue
+                yield path + [edge]
+            elif target not in seen:
+                yield from walk(target, path + [edge], seen | {target})
+
+    yield from walk(origin, [], {origin})

@@ -1,0 +1,159 @@
+"""Importing schema graphs from XML Schema documents (paper Section 3).
+
+The paper's schema graphs "are similar to XML Schema definitions [22]
+but have typed references", keeping "only the constructs that are useful
+for performance optimization".  This importer reads exactly that subset
+of XSD:
+
+* top-level ``xs:element`` declarations become schema nodes;
+* ``xs:sequence`` / ``xs:all`` content models are *all* nodes,
+  ``xs:choice`` content models are *choice* nodes;
+* nested ``xs:element`` (by ``ref`` or inline ``name``) become
+  containment edges with the XSD ``maxOccurs`` semantics (default 1,
+  ``unbounded`` supported);
+* ``xs:attribute`` declarations of type ``xs:IDREF``/``xs:IDREFS``
+  become reference edges.  Plain XSD leaves IDREFs untyped, so the
+  importer requires the paper's typing extension: a ``target``
+  attribute naming the referenced element (namespace-agnostic, e.g.
+  ``<xs:attribute name="supplier" type="xs:IDREF" target="person"/>``).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+
+from ..xmlgraph.model import EdgeKind
+from .graph import NodeType, SchemaError, SchemaGraph, UNBOUNDED
+
+XS = "{http://www.w3.org/2001/XMLSchema}"
+
+
+class XSDError(SchemaError):
+    """Raised when an XSD document falls outside the supported subset."""
+
+
+def parse_xsd(text: str) -> SchemaGraph:
+    """Parse an XML Schema document into a schema graph."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XSDError(f"malformed XSD document: {exc}") from exc
+    if root.tag != f"{XS}schema":
+        raise XSDError(f"expected {XS}schema root, got {root.tag!r}")
+
+    declarations = [child for child in root if child.tag == f"{XS}element"]
+    if not declarations:
+        raise XSDError("no top-level element declarations")
+
+    graph = SchemaGraph()
+    pending_edges: list[tuple[str, str, EdgeKind, int]] = []
+
+    def declare(name: str, node_type: NodeType) -> None:
+        if not graph.has_node(name):
+            graph.add_node(name, node_type)
+        elif graph.node(name).node_type is not node_type:
+            raise XSDError(f"conflicting content models for element {name!r}")
+
+    def max_occurs_of(element: ET.Element) -> int:
+        raw = element.get("maxOccurs", "1")
+        if raw == "unbounded":
+            return UNBOUNDED
+        try:
+            value = int(raw)
+        except ValueError:
+            raise XSDError(f"invalid maxOccurs {raw!r}") from None
+        if value < 1:
+            raise XSDError(f"invalid maxOccurs {raw!r}")
+        return value
+
+    def walk_declaration(declaration: ET.Element) -> None:
+        name = declaration.get("name")
+        if not name:
+            raise XSDError("top-level xs:element without a name")
+        complex_type = declaration.find(f"{XS}complexType")
+        if complex_type is None:
+            declare(name, NodeType.ALL)  # simple-typed leaf element
+            return
+        model = None
+        for candidate in ("sequence", "all", "choice"):
+            found = complex_type.find(f"{XS}{candidate}")
+            if found is not None:
+                model = (candidate, found)
+                break
+        node_type = NodeType.CHOICE if model and model[0] == "choice" else NodeType.ALL
+        declare(name, node_type)
+        if model is not None:
+            for child in model[1]:
+                if child.tag != f"{XS}element":
+                    raise XSDError(
+                        f"unsupported content particle {child.tag!r} in {name!r}"
+                    )
+                target = child.get("ref") or child.get("name")
+                if not target:
+                    raise XSDError(f"child element of {name!r} lacks ref/name")
+                if child.get("name") and child.get("ref") is None:
+                    declare(target, NodeType.ALL)
+                pending_edges.append(
+                    (name, target, EdgeKind.CONTAINMENT, max_occurs_of(child))
+                )
+        for attribute in complex_type.findall(f"{XS}attribute"):
+            attr_type = attribute.get("type", "")
+            if not attr_type.endswith(("IDREF", "IDREFS")):
+                continue  # plain data attributes carry no graph structure
+            target = attribute.get("target") or attribute.get(
+                "{urn:repro:xkeyword}target"
+            )
+            if not target:
+                raise XSDError(
+                    f"IDREF attribute {attribute.get('name')!r} of {name!r} "
+                    "needs a 'target' annotation (the paper's typed references)"
+                )
+            occurs = UNBOUNDED if attr_type.endswith("IDREFS") else 1
+            pending_edges.append((name, target, EdgeKind.REFERENCE, occurs))
+
+    for declaration in declarations:
+        walk_declaration(declaration)
+    for source, target, kind, occurs in pending_edges:
+        if not graph.has_node(target):
+            raise XSDError(f"edge from {source!r} references unknown element {target!r}")
+        graph.add_edge(source, target, kind, maxoccurs=occurs)
+    return graph
+
+
+def export_xsd(schema: SchemaGraph) -> str:
+    """Serialize a schema graph back to the supported XSD subset."""
+    lines = ['<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">']
+    for node in schema.nodes():
+        out_edges = schema.out_edges(node.name)
+        containment = [edge for edge in out_edges if edge.is_containment]
+        references = [edge for edge in out_edges if edge.is_reference]
+        if not containment and not references:
+            lines.append(f'  <xs:element name="{node.name}" type="xs:string"/>')
+            continue
+        model = "choice" if node.is_choice else "sequence"
+        lines.append(f'  <xs:element name="{node.name}">')
+        lines.append("    <xs:complexType>")
+        if containment:
+            lines.append(f"      <xs:{model}>")
+            for edge in containment:
+                occurs = (
+                    "unbounded" if edge.maxoccurs == UNBOUNDED else str(edge.maxoccurs)
+                )
+                lines.append(
+                    f'        <xs:element ref="{edge.target}" maxOccurs="{occurs}"/>'
+                )
+            lines.append(f"      </xs:{model}>")
+        elif node.is_choice:
+            # A choice between references only (e.g. the TPC-H ``line``
+            # node): keep an empty model so the choice-ness round-trips.
+            lines.append("      <xs:choice/>")
+        for index, edge in enumerate(references):
+            attr_type = "xs:IDREFS" if edge.maxoccurs == UNBOUNDED else "xs:IDREF"
+            lines.append(
+                f'      <xs:attribute name="ref{index}" type="{attr_type}" '
+                f'target="{edge.target}"/>'
+            )
+        lines.append("    </xs:complexType>")
+        lines.append("  </xs:element>")
+    lines.append("</xs:schema>")
+    return "\n".join(lines)

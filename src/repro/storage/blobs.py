@@ -1,0 +1,52 @@
+"""Target-object BLOB store (paper Section 4, load-stage structure 3).
+
+Given a target-object id, the store instantly returns the whole target
+object as serialized XML, so the presentation layer never has to walk the
+graph again.
+"""
+
+from __future__ import annotations
+
+from ..xmlgraph.model import XMLGraph
+from ..xmlgraph.serializer import serialize_subtree
+from .database import Database
+from .target_objects import TargetObjectGraph
+
+
+class BlobStore:
+    """``to_id -> serialized target object`` lookup table."""
+
+    TABLE = "target_object_blobs"
+
+    def __init__(self, database: Database) -> None:
+        self.database = database
+
+    def create(self) -> None:
+        self.database.execute(
+            f"""CREATE TABLE IF NOT EXISTS {self.TABLE} (
+                to_id TEXT PRIMARY KEY,
+                tss TEXT NOT NULL,
+                xml TEXT NOT NULL
+            ) WITHOUT ROWID"""
+        )
+
+    def load(self, graph: XMLGraph, to_graph: TargetObjectGraph) -> int:
+        rows = []
+        for to_id, tss_name in to_graph.tss_of_to.items():
+            members = set(to_graph.members_of_to.get(to_id, ()))
+            xml = serialize_subtree(graph, to_id, include=members)
+            rows.append((to_id, tss_name, xml))
+        self.database.executemany(
+            f"INSERT OR REPLACE INTO {self.TABLE} VALUES (?, ?, ?)", rows
+        )
+        self.database.commit()
+        return len(rows)
+
+    def fetch(self, to_id: str) -> tuple[str, str]:
+        """Return ``(tss name, xml)`` for one target object."""
+        row = self.database.query_one(
+            f"SELECT tss, xml FROM {self.TABLE} WHERE to_id = ?", (to_id,)
+        )
+        if row is None:
+            raise KeyError(f"unknown target object {to_id!r}")
+        return row[0], row[1]

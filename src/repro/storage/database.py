@@ -1,0 +1,128 @@
+"""SQLite-backed relational substrate (the paper used Oracle 9i + JDBC).
+
+One :class:`Database` owns a SQLite database — on disk or in memory — and
+hands out **per-thread connections**, mirroring the paper's thread pool of
+JDBC connections.  In-memory databases use SQLite's shared-cache URI so
+every thread sees the same data.
+"""
+
+from __future__ import annotations
+
+import itertools
+import sqlite3
+import threading
+import time
+from typing import Any, Iterable, Sequence
+
+_MEMORY_COUNTER = itertools.count(1)
+
+
+class Database:
+    """Thread-aware wrapper over one SQLite database.
+
+    Attributes:
+        simulated_latency: Optional per-read-query delay in seconds.
+            The paper's system talks to Oracle over JDBC, so every
+            focused query pays a round trip; in-process SQLite has none.
+            Setting this models that round-trip cost explicitly (the
+            Figure 16(b) benchmark uses it to reproduce the paper's
+            trade-off between query count and query width).
+    """
+
+    def __init__(self, path: str | None = None, simulated_latency: float = 0.0) -> None:
+        """Create or open a database.
+
+        Args:
+            path: Filesystem path, or ``None`` for a private in-memory
+                database shared across this object's per-thread
+                connections.
+            simulated_latency: Per-read-query delay in seconds.
+        """
+        self.simulated_latency = simulated_latency
+        if path is None:
+            name = f"xkeyword_mem_{next(_MEMORY_COUNTER)}"
+            self._uri = f"file:{name}?mode=memory&cache=shared"
+        else:
+            self._uri = f"file:{path}"
+        self._local = threading.local()
+        # Keep one anchor connection alive so a memory database survives
+        # even when worker threads close theirs.
+        self._anchor = self._open()
+
+    def _open(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self._uri, uri=True, check_same_thread=False)
+        connection.execute("PRAGMA synchronous = OFF")
+        connection.execute("PRAGMA journal_mode = MEMORY")
+        return connection
+
+    @property
+    def connection(self) -> sqlite3.Connection:
+        """This thread's connection (created lazily)."""
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._open()
+            self._local.connection = connection
+        return connection
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
+        return self.connection.execute(sql, params)
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> None:
+        self.connection.executemany(sql, rows)
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        if self.simulated_latency > 0.0:
+            time.sleep(self.simulated_latency)
+        return self.connection.execute(sql, params).fetchall()
+
+    def query_one(self, sql: str, params: Sequence[Any] = ()) -> tuple | None:
+        if self.simulated_latency > 0.0:
+            time.sleep(self.simulated_latency)
+        return self.connection.execute(sql, params).fetchone()
+
+    def commit(self) -> None:
+        self.connection.commit()
+
+    def table_exists(self, name: str) -> bool:
+        row = self.query_one(
+            "SELECT 1 FROM sqlite_master WHERE type IN ('table','view') AND name = ?",
+            (name,),
+        )
+        return row is not None
+
+    def table_names(self) -> list[str]:
+        return [
+            row[0]
+            for row in self.query("SELECT name FROM sqlite_master WHERE type = 'table'")
+        ]
+
+    def row_count(self, table: str) -> int:
+        _validate_identifier(table)
+        row = self.query_one(f"SELECT COUNT(*) FROM {table}")
+        return int(row[0]) if row else 0
+
+    def total_bytes(self) -> int:
+        """Approximate storage footprint (page_count * page_size)."""
+        pages = self.query_one("PRAGMA page_count")
+        size = self.query_one("PRAGMA page_size")
+        return int(pages[0]) * int(size[0]) if pages and size else 0
+
+    def close(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+            self._local.connection = None
+        self._anchor.close()
+
+
+def _validate_identifier(name: str) -> None:
+    """Guard dynamically assembled SQL identifiers."""
+    if not name.replace("_", "").isalnum() or name[0].isdigit():
+        raise ValueError(f"invalid SQL identifier {name!r}")
+
+
+def quote_identifier(name: str) -> str:
+    """Validate and return an identifier safe to splice into SQL."""
+    _validate_identifier(name)
+    return name

@@ -1,0 +1,145 @@
+"""Persisting and reopening loaded databases (load once, query forever).
+
+The master index, BLOBs and connection relations already live in SQLite;
+this module persists the remaining load-stage artifacts — the
+target-object graph and the statistics — so a database file can be
+reopened for querying without re-parsing the XML:
+
+    loaded = load_database(graph, catalog, decompositions,
+                           database=Database("dblp.db"))
+    persist_metadata(loaded)
+    ...
+    reopened = reopen_database(Database("dblp.db"), catalog, decompositions)
+
+``reopen_database`` returns a :class:`LoadedDatabase` whose ``graph`` is
+``None``: every query-stage operation works (search, navigation, BLOB
+display); only node-level MTNN expansion needs the original XML graph.
+"""
+
+from __future__ import annotations
+
+from ..decomposition.strategies import Decomposition
+from ..schema.catalogs import Catalog
+from .blobs import BlobStore
+from .database import Database
+from .decomposer import LoadReport, LoadedDatabase
+from .master_index import MasterIndex
+from .relations import RelationStore
+from .statistics import Statistics
+from .target_objects import EdgeInstance, TargetObjectGraph
+
+_TO_TABLE = "meta_target_objects"
+_MEMBER_TABLE = "meta_to_members"
+_EDGE_TABLE = "meta_to_edges"
+
+
+def persist_metadata(loaded: LoadedDatabase) -> None:
+    """Write the target-object graph into the database."""
+    database = loaded.database
+    database.execute(
+        f"""CREATE TABLE IF NOT EXISTS {_TO_TABLE} (
+            to_id TEXT PRIMARY KEY, tss TEXT NOT NULL) WITHOUT ROWID"""
+    )
+    database.execute(
+        f"""CREATE TABLE IF NOT EXISTS {_MEMBER_TABLE} (
+            node_id TEXT PRIMARY KEY, to_id TEXT NOT NULL) WITHOUT ROWID"""
+    )
+    database.execute(
+        f"""CREATE TABLE IF NOT EXISTS {_EDGE_TABLE} (
+            edge_id TEXT NOT NULL, source_to TEXT NOT NULL,
+            target_to TEXT NOT NULL, node_path TEXT NOT NULL,
+            PRIMARY KEY (edge_id, source_to, target_to)) WITHOUT ROWID"""
+    )
+    to_graph = loaded.to_graph
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_TO_TABLE} VALUES (?, ?)",
+        sorted(to_graph.tss_of_to.items()),
+    )
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_MEMBER_TABLE} VALUES (?, ?)",
+        sorted(to_graph.to_of_node.items()),
+    )
+    edge_rows = []
+    for edge_id, instances in to_graph.instances.items():
+        for instance in instances:
+            edge_rows.append(
+                (
+                    edge_id,
+                    instance.source_to,
+                    instance.target_to,
+                    "\x1f".join(instance.node_path),
+                )
+            )
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_EDGE_TABLE} VALUES (?, ?, ?, ?)",
+        sorted(edge_rows),
+    )
+    database.commit()
+
+
+def has_metadata(database: Database) -> bool:
+    return database.table_exists(_TO_TABLE)
+
+
+def load_metadata(database: Database, catalog: Catalog) -> TargetObjectGraph:
+    """Rebuild the target-object graph from persisted metadata."""
+    if not has_metadata(database):
+        raise LookupError(
+            "database holds no persisted metadata; run persist_metadata first"
+        )
+    to_graph = TargetObjectGraph(catalog.tss)
+    for to_id, tss in database.query(f"SELECT to_id, tss FROM {_TO_TABLE}"):
+        to_graph.add_target_object(to_id, tss)
+    for node_id, to_id in database.query(
+        f"SELECT node_id, to_id FROM {_MEMBER_TABLE}"
+    ):
+        to_graph.add_member(to_id, node_id)
+    for edge_id, source_to, target_to, packed in database.query(
+        f"SELECT edge_id, source_to, target_to, node_path FROM {_EDGE_TABLE}"
+    ):
+        to_graph.add_instance(
+            EdgeInstance(edge_id, source_to, target_to, tuple(packed.split("\x1f")))
+        )
+    return to_graph
+
+
+def reopen_database(
+    database: Database,
+    catalog: Catalog,
+    decompositions: list[Decomposition],
+) -> LoadedDatabase:
+    """Reopen a previously loaded-and-persisted database for querying."""
+    to_graph = load_metadata(database, catalog)
+    stores = {}
+    report = LoadReport(
+        target_objects=to_graph.target_object_count,
+        edge_instances=to_graph.instance_count,
+    )
+    for decomposition in decompositions:
+        store = RelationStore(database, decomposition)
+        missing = [
+            fragment.relation_name
+            for fragment in decomposition.fragments
+            if not database.table_exists(store.base_table(fragment))
+        ]
+        if missing:
+            raise LookupError(
+                f"decomposition {decomposition.name!r} was not loaded into "
+                f"this database (missing {missing[:3]}...)"
+            )
+        stores[decomposition.name] = store
+        report.relation_rows[decomposition.name] = {
+            fragment.relation_name: store.row_count(fragment)
+            for fragment in decomposition.fragments
+        }
+    return LoadedDatabase(
+        catalog=catalog,
+        database=database,
+        graph=None,  # type: ignore[arg-type]
+        to_graph=to_graph,
+        master_index=MasterIndex(database),
+        blobs=BlobStore(database),
+        statistics=Statistics.from_target_object_graph(to_graph),
+        stores=stores,
+        report=report,
+    )

@@ -1,0 +1,53 @@
+"""Load-time statistics (paper Section 4, load-stage structure 2).
+
+The decomposer records (a) the number ``s(S)`` of target objects per TSS
+and (b) the average fan-out ``c(S -> S')`` of every TSS edge in both
+directions.  The optimizer uses them to order nested-loop joins and to
+estimate candidate-network result sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .target_objects import TargetObjectGraph
+
+
+@dataclass
+class Statistics:
+    """Cardinality statistics over a target-object graph."""
+
+    tss_counts: dict[str, int] = field(default_factory=dict)
+    edge_counts: dict[str, int] = field(default_factory=dict)
+    avg_fanout: dict[str, float] = field(default_factory=dict)
+    avg_fanin: dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def from_target_object_graph(cls, to_graph: TargetObjectGraph) -> "Statistics":
+        stats = cls()
+        for to_id, tss_name in to_graph.tss_of_to.items():
+            stats.tss_counts[tss_name] = stats.tss_counts.get(tss_name, 0) + 1
+        for tss_edge in to_graph.tss_graph.edges():
+            instances = to_graph.instances.get(tss_edge.edge_id, [])
+            stats.edge_counts[tss_edge.edge_id] = len(instances)
+            sources = stats.tss_counts.get(tss_edge.source, 0)
+            targets = stats.tss_counts.get(tss_edge.target, 0)
+            stats.avg_fanout[tss_edge.edge_id] = (
+                len(instances) / sources if sources else 0.0
+            )
+            stats.avg_fanin[tss_edge.edge_id] = (
+                len(instances) / targets if targets else 0.0
+            )
+        return stats
+
+    def count(self, tss_name: str) -> int:
+        """s(S): target objects of one TSS."""
+        return self.tss_counts.get(tss_name, 0)
+
+    def fanout(self, edge_id: str) -> float:
+        """c(S -> S') following the edge forward."""
+        return self.avg_fanout.get(edge_id, 0.0)
+
+    def fanin(self, edge_id: str) -> float:
+        """c(S' -> S) following the edge backward."""
+        return self.avg_fanin.get(edge_id, 0.0)

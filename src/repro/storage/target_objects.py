@@ -1,0 +1,179 @@
+"""Target-object assignment and the target-object graph (paper Section 4).
+
+The *target object graph* is the representation of the XML graph in terms
+of target objects: each node is a target object (an instance of a TSS),
+and each edge is an instance of a TSS edge, i.e. a schema path through
+dummy nodes realized by actual XML nodes.  Connection relations store
+target-object ids; the interior node path of every edge instance is kept
+so MTTONs can display the actual connection (the paper's connection
+relations "store the actual path between a set of target objects").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..schema.tss import TSSGraph
+from ..xmlgraph.model import XMLGraph, XMLGraphError
+
+
+@dataclass(frozen=True)
+class EdgeInstance:
+    """One instance of a TSS edge between two target objects."""
+
+    edge_id: str
+    source_to: str
+    target_to: str
+    node_path: tuple[str, ...]
+    """XML node ids realizing the schema path, endpoints included."""
+
+
+@dataclass
+class TargetObjectGraph:
+    """Target objects of an XML graph plus their TSS-edge instances."""
+
+    tss_graph: TSSGraph
+    to_of_node: dict[str, str] = field(default_factory=dict)
+    tss_of_to: dict[str, str] = field(default_factory=dict)
+    members_of_to: dict[str, list[str]] = field(default_factory=dict)
+    instances: dict[str, list[EdgeInstance]] = field(default_factory=dict)
+    _forward: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    _backward: dict[tuple[str, str], list[str]] = field(default_factory=dict)
+    _paths: dict[tuple[str, str, str], tuple[str, ...]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_target_object(self, to_id: str, tss_name: str) -> None:
+        self.tss_of_to[to_id] = tss_name
+        self.members_of_to.setdefault(to_id, [])
+
+    def add_member(self, to_id: str, node_id: str) -> None:
+        self.to_of_node[node_id] = to_id
+        self.members_of_to.setdefault(to_id, []).append(node_id)
+
+    def add_instance(self, instance: EdgeInstance) -> None:
+        bucket = self.instances.setdefault(instance.edge_id, [])
+        key = (instance.edge_id, instance.source_to, instance.target_to)
+        if key in self._paths:
+            return  # parallel node-level paths collapse to one TO edge
+        self._paths[key] = instance.node_path
+        bucket.append(instance)
+        self._forward.setdefault((instance.edge_id, instance.source_to), []).append(
+            instance.target_to
+        )
+        self._backward.setdefault((instance.edge_id, instance.target_to), []).append(
+            instance.source_to
+        )
+
+    # ------------------------------------------------------------------
+    def targets(self, edge_id: str, source_to: str) -> list[str]:
+        """Target objects reachable forward over one TSS edge."""
+        return list(self._forward.get((edge_id, source_to), ()))
+
+    def sources(self, edge_id: str, target_to: str) -> list[str]:
+        """Target objects reaching ``target_to`` over one TSS edge."""
+        return list(self._backward.get((edge_id, target_to), ()))
+
+    def path_of(self, edge_id: str, source_to: str, target_to: str) -> tuple[str, ...]:
+        return self._paths[(edge_id, source_to, target_to)]
+
+    def pairs(self, edge_id: str) -> list[tuple[str, str]]:
+        return [
+            (instance.source_to, instance.target_to)
+            for instance in self.instances.get(edge_id, ())
+        ]
+
+    def target_objects(self, tss_name: str | None = None) -> list[str]:
+        if tss_name is None:
+            return list(self.tss_of_to)
+        return [to for to, tss in self.tss_of_to.items() if tss == tss_name]
+
+    @property
+    def target_object_count(self) -> int:
+        return len(self.tss_of_to)
+
+    @property
+    def instance_count(self) -> int:
+        return sum(len(bucket) for bucket in self.instances.values())
+
+
+def build_target_object_graph(graph: XMLGraph, tss_graph: TSSGraph) -> TargetObjectGraph:
+    """Decompose an XML graph into its target-object graph.
+
+    Every XML node whose tag is a TSS root starts a target object (its id
+    doubles as the TO id); other mapped nodes join the target object of
+    their nearest intra-TSS containment ancestor.  Edge instances are
+    found by matching each TSS edge's schema path from every possible
+    origin node.
+    """
+    result = TargetObjectGraph(tss_graph)
+    # Pass 1: target objects and membership.
+    for node in graph.nodes():
+        tss_name = tss_graph.tss_of(node.label)
+        if tss_name is None:
+            continue
+        tss = tss_graph.tss(tss_name)
+        if node.label == tss.root:
+            result.add_target_object(node.node_id, tss_name)
+    for node in graph.nodes():
+        tss_name = tss_graph.tss_of(node.label)
+        if tss_name is None:
+            continue
+        root_id = _find_to_root(graph, node.node_id, tss_graph)
+        result.add_member(root_id, node.node_id)
+    # Pass 2: TSS edge instances.
+    for tss_edge in tss_graph.edges():
+        origin_label = tss_edge.path[0].source
+        for node in graph.nodes():
+            if node.label != origin_label:
+                continue
+            for node_path in _match_path(graph, node.node_id, tss_edge.path):
+                source_to = result.to_of_node[node_path[0]]
+                target_to = result.to_of_node[node_path[-1]]
+                result.add_instance(
+                    EdgeInstance(tss_edge.edge_id, source_to, target_to, node_path)
+                )
+    return result
+
+
+def _find_to_root(graph: XMLGraph, node_id: str, tss_graph: TSSGraph) -> str:
+    """The TO root a mapped node belongs to (itself when it is a root)."""
+    label = graph.node(node_id).label
+    tss_name = tss_graph.tss_of(label)
+    assert tss_name is not None
+    tss = tss_graph.tss(tss_name)
+    current = node_id
+    seen = {current}
+    while graph.node(current).label != tss.root:
+        parent = graph.containment_parent(current)
+        if parent is None or parent.label not in tss.schema_nodes:
+            raise XMLGraphError(
+                f"node {node_id!r} ({label}) has no intra-TSS path to the "
+                f"root member {tss.root!r} of TSS {tss_name!r}"
+            )
+        current = parent.node_id
+        if current in seen:  # pragma: no cover - defensive
+            raise XMLGraphError(f"containment cycle at {current!r}")
+        seen.add(current)
+    return current
+
+
+def _match_path(graph: XMLGraph, origin: str, path: tuple) -> Iterator[tuple[str, ...]]:
+    """All node paths from ``origin`` realizing a schema path."""
+
+    def step(current: str, depth: int, acc: list[str]) -> Iterator[tuple[str, ...]]:
+        if depth == len(path):
+            yield tuple(acc)
+            return
+        hop = path[depth]
+        for edge in graph.out_edges(current):
+            if edge.kind is not hop.kind:
+                continue
+            target = graph.node(edge.target)
+            if target.label != hop.target:
+                continue
+            acc.append(target.node_id)
+            yield from step(target.node_id, depth + 1, acc)
+            acc.pop()
+
+    yield from step(origin, 0, [origin])

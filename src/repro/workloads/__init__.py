@@ -1,0 +1,21 @@
+"""Synthetic workload generators (Section 7 data sets and queries)."""
+
+from .dblp import DBLPConfig, author_keywords, generate_dblp, title_keywords
+from .queries import QuerySpec, co_occurring_queries
+from .tpch import TPCHConfig, generate_tpch, part_keywords, person_keywords
+from .xmark import XMarkConfig, generate_xmark
+
+__all__ = [
+    "DBLPConfig",
+    "QuerySpec",
+    "TPCHConfig",
+    "author_keywords",
+    "co_occurring_queries",
+    "generate_dblp",
+    "generate_tpch",
+    "generate_xmark",
+    "XMarkConfig",
+    "part_keywords",
+    "person_keywords",
+    "title_keywords",
+]

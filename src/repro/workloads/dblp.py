@@ -1,0 +1,126 @@
+"""Synthetic DBLP XML generator (paper Section 7).
+
+The paper evaluates on the DBLP XML database with the Figure 14 schema
+and *synthesizes* citations ("we randomly added a set of citations to
+each such paper, such that the average number of citations of each paper
+is 20").  This generator builds a deterministic DBLP-shaped XML graph:
+conferences containing years containing papers; papers referencing
+authors (IDREFS) and citing other papers, with a configurable average
+citation count.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xmlgraph.model import EdgeKind, XMLGraph
+from . import vocab
+
+
+@dataclass(frozen=True)
+class DBLPConfig:
+    """Size knobs for the synthetic DBLP graph.
+
+    Defaults produce a small graph suitable for tests; benchmarks scale
+    ``papers`` and ``avg_citations`` up.
+    """
+
+    conferences: int = 4
+    years_per_conference: int = 3
+    papers: int = 120
+    authors: int = 60
+    min_authors_per_paper: int = 1
+    max_authors_per_paper: int = 3
+    avg_citations: float = 4.0
+    seed: int = 7
+
+
+def generate_dblp(config: DBLPConfig | None = None) -> XMLGraph:
+    """Generate a DBLP-shaped XML graph conforming to the DBLP catalog."""
+    config = config or DBLPConfig()
+    rng = random.Random(config.seed)
+    graph = XMLGraph()
+
+    author_ids = []
+    seen_names: set[str] = set()
+    for index in range(config.authors):
+        name = vocab.person_name(rng)
+        if name in seen_names:
+            first, last = name.split(" ", 1)
+            name = f"{first} {last}{index}"
+        seen_names.add(name)
+        author_id = f"a{index}"
+        graph.add_node(author_id, "author")
+        graph.add_node(f"{author_id}n", "aname", name)
+        graph.add_edge(author_id, f"{author_id}n")
+        author_ids.append(author_id)
+
+    year_ids = []
+    for conf_index in range(config.conferences):
+        conf_id = f"c{conf_index}"
+        conf_name = vocab.CONFERENCES[conf_index % len(vocab.CONFERENCES)]
+        graph.add_node(conf_id, "conference", conf_name)
+        for year_index in range(config.years_per_conference):
+            year_id = f"{conf_id}y{year_index}"
+            graph.add_node(year_id, "confyear", str(1998 + year_index))
+            graph.add_edge(conf_id, year_id)
+            year_ids.append(year_id)
+
+    paper_ids = []
+    for index in range(config.papers):
+        paper_id = f"p{index}"
+        graph.add_node(paper_id, "paper")
+        graph.add_edge(rng.choice(year_ids), paper_id)
+        title_id = f"{paper_id}t"
+        graph.add_node(title_id, "title", vocab.paper_title(rng))
+        graph.add_edge(paper_id, title_id)
+        pages_id = f"{paper_id}g"
+        start = rng.randrange(1, 500)
+        graph.add_node(pages_id, "pages", f"{start}-{start + rng.randrange(8, 20)}")
+        graph.add_edge(paper_id, pages_id)
+        author_count = rng.randint(
+            config.min_authors_per_paper, config.max_authors_per_paper
+        )
+        for author_id in rng.sample(author_ids, min(author_count, len(author_ids))):
+            graph.add_edge(paper_id, author_id, EdgeKind.REFERENCE)
+        paper_ids.append(paper_id)
+
+    # Synthetic citations: Poisson-ish count around the configured average,
+    # drawn without self-citations or duplicates.
+    for paper_id in paper_ids:
+        count = min(_citation_count(rng, config.avg_citations), len(paper_ids) - 1)
+        cited = rng.sample([p for p in paper_ids if p != paper_id], count)
+        for target in cited:
+            if not graph.has_edge(paper_id, target, EdgeKind.REFERENCE):
+                graph.add_edge(paper_id, target, EdgeKind.REFERENCE)
+
+    return graph
+
+
+def _citation_count(rng: random.Random, average: float) -> int:
+    """A small-variance integer draw with the requested mean."""
+    low = max(0, int(average) - 2)
+    high = int(average) + 2
+    return rng.randint(low, high)
+
+
+def author_keywords(graph: XMLGraph, rng: random.Random, count: int = 2) -> list[str]:
+    """Sample distinct author last names present in the graph."""
+    last_names = sorted(
+        {
+            node.value.split()[-1]
+            for node in graph.nodes()
+            if node.label == "aname" and node.value
+        }
+    )
+    return rng.sample(last_names, min(count, len(last_names)))
+
+
+def title_keywords(graph: XMLGraph, rng: random.Random, count: int = 2) -> list[str]:
+    """Sample distinct title terms present in the graph."""
+    terms: set[str] = set()
+    for node in graph.nodes():
+        if node.label == "title" and node.value:
+            terms.update(node.value.split())
+    return rng.sample(sorted(terms), min(count, len(terms)))

@@ -1,0 +1,54 @@
+"""Keyword-query workload generation for experiments and tests."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..storage.master_index import MasterIndex
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One keyword query of a workload."""
+
+    keywords: tuple[str, ...]
+
+    def __str__(self) -> str:
+        return ", ".join(self.keywords)
+
+
+def co_occurring_queries(
+    master_index: MasterIndex,
+    keywords: list[str],
+    query_count: int,
+    keywords_per_query: int = 2,
+    seed: int = 0,
+) -> list[QuerySpec]:
+    """Sample queries whose every keyword actually has matches.
+
+    Drawing from a supplied keyword pool keeps workloads deterministic
+    while guaranteeing non-empty containing lists, mirroring the paper's
+    two-keyword query workloads (e.g. pairs of author names).
+    """
+    rng = random.Random(seed)
+    usable = [kw for kw in keywords if master_index.keyword_count(kw) > 0]
+    if len(usable) < keywords_per_query:
+        raise ValueError(
+            f"need at least {keywords_per_query} indexed keywords, got {len(usable)}"
+        )
+    queries = []
+    attempts = 0
+    seen: set[tuple[str, ...]] = set()
+    while len(queries) < query_count and attempts < query_count * 50:
+        attempts += 1
+        chosen = tuple(sorted(rng.sample(usable, keywords_per_query)))
+        if chosen in seen:
+            continue
+        seen.add(chosen)
+        queries.append(QuerySpec(chosen))
+    if len(queries) < query_count:
+        # Small pools run out of distinct combinations; repeat cyclically.
+        while len(queries) < query_count:
+            queries.append(queries[len(queries) % max(1, len(seen))])
+    return queries

@@ -1,0 +1,150 @@
+"""Synthetic TPC-H-like XML generator (paper Figures 1 and 5).
+
+Builds an XML graph with persons placing orders of lineitems, lineitems
+supplied by (referencing) persons and carrying a *line* choice of part or
+product, parts containing subparts, and service calls referencing
+products — the exact shape of the paper's running example.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xmlgraph.model import EdgeKind, XMLGraph
+from . import vocab
+
+
+@dataclass(frozen=True)
+class TPCHConfig:
+    """Size knobs for the synthetic TPC-H graph."""
+
+    persons: int = 20
+    orders_per_person: int = 2
+    lineitems_per_order: int = 3
+    part_fraction: float = 0.6
+    """Probability that a line references a part (vs a product)."""
+    parts: int = 15
+    """Top-level parts in the catalog (graph roots)."""
+    products: int = 8
+    """Products in the catalog (graph roots)."""
+    subparts_per_part: int = 2
+    service_calls_per_person: int = 1
+    seed: int = 11
+
+
+def generate_tpch(config: TPCHConfig | None = None) -> XMLGraph:
+    """Generate a TPC-H-shaped XML graph conforming to the TPC-H catalog."""
+    config = config or TPCHConfig()
+    rng = random.Random(config.seed)
+    graph = XMLGraph()
+    counter = {"value": 0}
+
+    def fresh(prefix: str) -> str:
+        counter["value"] += 1
+        return f"{prefix}{counter['value']}"
+
+    def add_leaf(parent: str, label: str, value: str) -> None:
+        node_id = fresh("v")
+        graph.add_node(node_id, label, value)
+        graph.add_edge(parent, node_id)
+
+    person_ids = []
+    for _ in range(config.persons):
+        person_id = fresh("per")
+        graph.add_node(person_id, "person")
+        add_leaf(person_id, "pname", vocab.person_name(rng))
+        add_leaf(person_id, "nation", vocab.zipf_choice(rng, vocab.NATIONS))
+        person_ids.append(person_id)
+
+    # Catalog roots: products and part trees live outside any order (the
+    # graph has multiple roots); lines reference them, so several
+    # lineitems may share one part — the Figure 2 situation.
+    product_ids = []
+    for _ in range(config.products):
+        product_id = fresh("pr")
+        graph.add_node(product_id, "product")
+        add_leaf(product_id, "prodkey", str(2000 + len(product_ids)))
+        add_leaf(product_id, "pr_descr", f"set of {vocab.product_name(rng)}")
+        product_ids.append(product_id)
+
+    part_counter = {"value": 1000}
+
+    def add_part(parent: str | None, depth: int) -> str:
+        part_id = fresh("pa")
+        graph.add_node(part_id, "part")
+        if parent is not None:
+            graph.add_edge(parent, part_id)
+        part_counter["value"] += 1
+        add_leaf(part_id, "pa_key", str(part_counter["value"]))
+        add_leaf(part_id, "pa_name", vocab.zipf_choice(rng, vocab.PRODUCT_TERMS))
+        if depth > 0:
+            for _ in range(config.subparts_per_part):
+                sub_id = fresh("s")
+                graph.add_node(sub_id, "sub")
+                graph.add_edge(part_id, sub_id)
+                add_part(sub_id, depth - 1)
+        return part_id
+
+    part_ids = [add_part(None, depth=1) for _ in range(config.parts)]
+
+    for person_id in person_ids:
+        for _ in range(config.orders_per_person):
+            order_id = fresh("o")
+            graph.add_node(order_id, "order")
+            graph.add_edge(person_id, order_id)
+            add_leaf(order_id, "o_date", vocab.zipf_choice(rng, vocab.ORDER_DATES))
+            for _ in range(config.lineitems_per_order):
+                lineitem_id = fresh("l")
+                graph.add_node(lineitem_id, "lineitem")
+                graph.add_edge(order_id, lineitem_id)
+                add_leaf(lineitem_id, "quantity", str(rng.randrange(1, 20)))
+                add_leaf(lineitem_id, "ship", vocab.zipf_choice(rng, vocab.ORDER_DATES))
+                supplier_id = fresh("su")
+                graph.add_node(supplier_id, "supplier")
+                graph.add_edge(lineitem_id, supplier_id)
+                graph.add_edge(supplier_id, rng.choice(person_ids), EdgeKind.REFERENCE)
+                line_id = fresh("li")
+                graph.add_node(line_id, "line")
+                graph.add_edge(lineitem_id, line_id)
+                if rng.random() < config.part_fraction and part_ids:
+                    graph.add_edge(
+                        line_id, rng.choice(part_ids), EdgeKind.REFERENCE
+                    )
+                elif product_ids:
+                    graph.add_edge(
+                        line_id, rng.choice(product_ids), EdgeKind.REFERENCE
+                    )
+
+    for person_id in person_ids:
+        for _ in range(config.service_calls_per_person):
+            if not product_ids:
+                break
+            call_id = fresh("sc")
+            graph.add_node(call_id, "service_call")
+            graph.add_edge(person_id, call_id)
+            add_leaf(call_id, "sc_date", vocab.zipf_choice(rng, vocab.ORDER_DATES))
+            add_leaf(call_id, "sc_descr", f"{vocab.product_name(rng, 1)} error")
+            graph.add_edge(call_id, rng.choice(product_ids), EdgeKind.REFERENCE)
+
+    return graph
+
+
+def part_keywords(graph: XMLGraph, rng: random.Random, count: int = 2) -> list[str]:
+    """Sample distinct part-name terms present in the graph."""
+    terms = sorted(
+        {node.value for node in graph.nodes() if node.label == "pa_name" and node.value}
+    )
+    return rng.sample(terms, min(count, len(terms)))
+
+
+def person_keywords(graph: XMLGraph, rng: random.Random, count: int = 2) -> list[str]:
+    """Sample distinct person first names present in the graph."""
+    names = sorted(
+        {
+            node.value.split()[0]
+            for node in graph.nodes()
+            if node.label == "pname" and node.value
+        }
+    )
+    return rng.sample(names, min(count, len(names)))

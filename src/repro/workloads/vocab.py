@@ -1,0 +1,70 @@
+"""Shared vocabularies for the synthetic data generators.
+
+Values are sampled with a Zipf-like skew so keyword selectivities span
+the range the paper's experiments exercise (rare author names through
+frequent title terms).
+"""
+
+from __future__ import annotations
+
+import random
+
+FIRST_NAMES = [
+    "john", "mike", "anna", "vagelis", "yannis", "andrey", "maria", "wei",
+    "divesh", "serge", "dana", "jennifer", "hector", "rakesh", "surajit",
+    "jeffrey", "moshe", "laura", "peter", "sophie", "nikos", "elena",
+]
+
+LAST_NAMES = [
+    "smith", "papakonstantinou", "hristidis", "balmin", "chen", "garcia",
+    "agrawal", "chaudhuri", "suciu", "abiteboul", "ullman", "widom",
+    "naughton", "dewitt", "florescu", "kossmann", "vianu", "ioannidis",
+    "halevy", "stonebraker", "gravano", "koudas",
+]
+
+TITLE_TERMS = [
+    "keyword", "search", "xml", "graphs", "proximity", "relational",
+    "databases", "query", "optimization", "indexing", "semistructured",
+    "storage", "views", "join", "streams", "mining", "warehouse",
+    "distributed", "transactions", "recovery", "schema", "integration",
+    "caching", "ranking", "top", "approximate", "spatial", "temporal",
+]
+
+CONFERENCES = ["icde", "sigmod", "vldb", "pods", "edbt", "cikm", "webdb", "kdd"]
+
+NATIONS = ["us", "greece", "germany", "france", "japan", "india", "brazil", "canada"]
+
+PRODUCT_TERMS = [
+    "tv", "vcr", "dvd", "radio", "camera", "player", "antenna", "remote",
+    "screen", "tuner", "speaker", "cable", "battery", "charger", "lens",
+]
+
+ORDER_DATES = [f"2002-{month:02d}-{day:02d}" for month in range(1, 13) for day in (3, 14, 27)]
+
+
+def zipf_choice(rng: random.Random, items: list[str], skew: float = 1.1) -> str:
+    """Pick an item with Zipf-like skew: early items are more frequent."""
+    weights = [1.0 / (rank + 1) ** skew for rank in range(len(items))]
+    return rng.choices(items, weights=weights, k=1)[0]
+
+
+def person_name(rng: random.Random) -> str:
+    return f"{zipf_choice(rng, FIRST_NAMES)} {zipf_choice(rng, LAST_NAMES)}"
+
+
+def paper_title(rng: random.Random, terms: int = 4) -> str:
+    chosen = []
+    while len(chosen) < terms:
+        term = zipf_choice(rng, TITLE_TERMS)
+        if term not in chosen:
+            chosen.append(term)
+    return " ".join(chosen)
+
+
+def product_name(rng: random.Random, terms: int = 2) -> str:
+    chosen = []
+    while len(chosen) < terms:
+        term = zipf_choice(rng, PRODUCT_TERMS)
+        if term not in chosen:
+            chosen.append(term)
+    return " ".join(chosen)

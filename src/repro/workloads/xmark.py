@@ -1,0 +1,68 @@
+"""Synthetic XMark-style auction data for the ``xmark`` catalog."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..xmlgraph.model import EdgeKind, XMLGraph
+from . import vocab
+
+
+@dataclass(frozen=True)
+class XMarkConfig:
+    """Size knobs for the synthetic auction graph."""
+
+    persons: int = 40
+    items: int = 30
+    auctions: int = 50
+    min_bids: int = 1
+    max_bids: int = 4
+    seed: int = 29
+
+
+def generate_xmark(config: XMarkConfig | None = None) -> XMLGraph:
+    """Generate an auction graph conforming to the xmark catalog."""
+    config = config or XMarkConfig()
+    rng = random.Random(config.seed)
+    graph = XMLGraph()
+
+    def leaf(parent: str, node_id: str, label: str, value: str) -> None:
+        graph.add_node(node_id, label, value)
+        graph.add_edge(parent, node_id)
+
+    person_ids = []
+    for index in range(config.persons):
+        person_id = f"per{index}"
+        graph.add_node(person_id, "person")
+        leaf(person_id, f"{person_id}n", "p_name", vocab.person_name(rng))
+        leaf(
+            person_id, f"{person_id}c", "p_country",
+            vocab.zipf_choice(rng, vocab.NATIONS),
+        )
+        person_ids.append(person_id)
+
+    item_ids = []
+    for index in range(config.items):
+        item_id = f"it{index}"
+        graph.add_node(item_id, "item")
+        leaf(item_id, f"{item_id}n", "i_name", vocab.product_name(rng, 1))
+        leaf(item_id, f"{item_id}d", "i_descr", vocab.product_name(rng, 3))
+        item_ids.append(item_id)
+
+    for index in range(config.auctions):
+        auction_id = f"au{index}"
+        graph.add_node(auction_id, "auction")
+        leaf(auction_id, f"{auction_id}d", "a_date",
+             vocab.zipf_choice(rng, vocab.ORDER_DATES))
+        graph.add_edge(auction_id, rng.choice(item_ids), EdgeKind.REFERENCE)
+        seller = rng.choice(person_ids)
+        graph.add_edge(auction_id, seller, EdgeKind.REFERENCE)
+        for bid_index in range(rng.randint(config.min_bids, config.max_bids)):
+            bid_id = f"{auction_id}b{bid_index}"
+            graph.add_node(bid_id, "bid")
+            graph.add_edge(auction_id, bid_id)
+            leaf(bid_id, f"{bid_id}a", "b_amount", str(rng.randrange(5, 500)))
+            graph.add_edge(bid_id, rng.choice(person_ids), EdgeKind.REFERENCE)
+
+    return graph

@@ -1,0 +1,18 @@
+"""XML substrate: labeled-graph model, parser, and serializer."""
+
+from .model import Edge, EdgeKind, Node, XMLGraph, XMLGraphError
+from .parser import ParseOptions, XMLParser, parse_xml
+from .serializer import serialize_graph, serialize_subtree
+
+__all__ = [
+    "Edge",
+    "EdgeKind",
+    "Node",
+    "ParseOptions",
+    "XMLGraph",
+    "XMLGraphError",
+    "XMLParser",
+    "parse_xml",
+    "serialize_graph",
+    "serialize_subtree",
+]

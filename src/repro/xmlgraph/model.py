@@ -1,0 +1,274 @@
+"""Labeled-graph data model for XML documents (paper Definition 3.1).
+
+An :class:`XMLGraph` is a labeled directed graph.  Every node has a unique
+id, a label (the element tag) and an optional string value.  Edges are
+classified into *containment* edges (element / sub-element) and *reference*
+edges (IDREF-to-ID pointers and cross-document XLinks).  The graph may have
+multiple roots: the administrator may drop artificial document roots, and a
+single graph may span several linked documents.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+
+class EdgeKind(enum.Enum):
+    """Classification of XML graph edges (paper Section 3)."""
+
+    CONTAINMENT = "containment"
+    REFERENCE = "reference"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"EdgeKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class Node:
+    """A node of the XML graph.
+
+    Attributes:
+        node_id: Unique identifier.  Taken from the element's ``ID``
+            attribute when present, otherwise invented by the system.
+        label: The element tag, drawn from the set of tags ``T``.
+        value: Optional string value of the element (``None`` for pure
+            structural elements).
+    """
+
+    node_id: str
+    label: str
+    value: str | None = None
+
+    def __str__(self) -> str:
+        if self.value is None:
+            return f"{self.label}#{self.node_id}"
+        return f"{self.label}#{self.node_id}[{self.value}]"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed edge of the XML graph."""
+
+    source: str
+    target: str
+    kind: EdgeKind = EdgeKind.CONTAINMENT
+
+    @property
+    def is_containment(self) -> bool:
+        return self.kind is EdgeKind.CONTAINMENT
+
+    @property
+    def is_reference(self) -> bool:
+        return self.kind is EdgeKind.REFERENCE
+
+
+class XMLGraphError(Exception):
+    """Raised on structural violations of the XML graph model."""
+
+
+@dataclass
+class XMLGraph:
+    """A labeled directed graph representing one or more XML documents.
+
+    The class maintains adjacency in both directions so that keyword
+    proximity algorithms can follow edges either way, as the paper's
+    result semantics require.
+    """
+
+    _nodes: dict[str, Node] = field(default_factory=dict)
+    _out: dict[str, list[Edge]] = field(default_factory=dict)
+    _in: dict[str, list[Edge]] = field(default_factory=dict)
+    _edge_set: set[tuple[str, str, EdgeKind]] = field(default_factory=set)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: str, label: str, value: str | None = None) -> Node:
+        """Add a node; raise :class:`XMLGraphError` on duplicate ids."""
+        if node_id in self._nodes:
+            raise XMLGraphError(f"duplicate node id {node_id!r}")
+        node = Node(node_id, label, value)
+        self._nodes[node_id] = node
+        self._out[node_id] = []
+        self._in[node_id] = []
+        return node
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        kind: EdgeKind = EdgeKind.CONTAINMENT,
+    ) -> Edge:
+        """Add a directed edge between two existing nodes.
+
+        Containment edges enforce the XML tree property: a node has at most
+        one containment parent.  Parallel duplicate edges are rejected.
+        """
+        if source not in self._nodes:
+            raise XMLGraphError(f"unknown source node {source!r}")
+        if target not in self._nodes:
+            raise XMLGraphError(f"unknown target node {target!r}")
+        key = (source, target, kind)
+        if key in self._edge_set:
+            raise XMLGraphError(f"duplicate edge {source!r} -> {target!r} ({kind.value})")
+        if kind is EdgeKind.CONTAINMENT and self.containment_parent(target) is not None:
+            raise XMLGraphError(
+                f"node {target!r} already has a containment parent; "
+                "XML elements have at most one parent"
+            )
+        edge = Edge(source, target, kind)
+        self._out[source].append(edge)
+        self._in[target].append(edge)
+        self._edge_set.add(key)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def node(self, node_id: str) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise XMLGraphError(f"unknown node id {node_id!r}") from None
+
+    def has_node(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def has_edge(self, source: str, target: str, kind: EdgeKind | None = None) -> bool:
+        if kind is not None:
+            return (source, target, kind) in self._edge_set
+        return any((source, target, k) in self._edge_set for k in EdgeKind)
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def node_ids(self) -> Iterator[str]:
+        return iter(self._nodes.keys())
+
+    def edges(self) -> Iterator[Edge]:
+        for edges in self._out.values():
+            yield from edges
+
+    def out_edges(self, node_id: str) -> list[Edge]:
+        return list(self._out.get(node_id, ()))
+
+    def in_edges(self, node_id: str) -> list[Edge]:
+        return list(self._in.get(node_id, ()))
+
+    def incident_edges(self, node_id: str) -> list[Edge]:
+        return self.out_edges(node_id) + self.in_edges(node_id)
+
+    def containment_children(self, node_id: str) -> list[Node]:
+        return [
+            self._nodes[edge.target]
+            for edge in self._out.get(node_id, ())
+            if edge.is_containment
+        ]
+
+    def containment_parent(self, node_id: str) -> Node | None:
+        for edge in self._in.get(node_id, ()):
+            if edge.is_containment:
+                return self._nodes[edge.source]
+        return None
+
+    def roots(self) -> list[Node]:
+        """Nodes with no incoming containment edge (the graph may have many)."""
+        return [
+            node
+            for node_id, node in self._nodes.items()
+            if all(not edge.is_containment for edge in self._in.get(node_id, ()))
+        ]
+
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edge_set)
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def neighbors(self, node_id: str) -> Iterator[tuple[Node, Edge]]:
+        """All neighbors across edges followed in either direction."""
+        for edge in self._out.get(node_id, ()):
+            yield self._nodes[edge.target], edge
+        for edge in self._in.get(node_id, ()):
+            yield self._nodes[edge.source], edge
+
+    def containment_subtree(self, node_id: str) -> list[Node]:
+        """All nodes reachable from ``node_id`` via containment edges."""
+        seen: set[str] = set()
+        order: list[Node] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            order.append(self._nodes[current])
+            for edge in self._out.get(current, ()):
+                if edge.is_containment:
+                    stack.append(edge.target)
+        return order
+
+    def undirected_distance(self, source: str, target: str) -> int | None:
+        """Shortest-path length ignoring edge direction; ``None`` if apart."""
+        if source == target:
+            return 0
+        self.node(source)
+        self.node(target)
+        seen = {source}
+        frontier = deque([(source, 0)])
+        while frontier:
+            current, dist = frontier.popleft()
+            for neighbor, _ in self.neighbors(current):
+                if neighbor.node_id in seen:
+                    continue
+                if neighbor.node_id == target:
+                    return dist + 1
+                seen.add(neighbor.node_id)
+                frontier.append((neighbor.node_id, dist + 1))
+        return None
+
+    def is_uncycled(self, node_ids: Iterable[str] | None = None) -> bool:
+        """True when the (sub)graph's undirected equivalent has no cycles.
+
+        Parallel containment/reference edges between the same node pair
+        collapse to one undirected edge, per the paper's definition of the
+        equivalent undirected graph.
+        """
+        members = set(node_ids) if node_ids is not None else set(self._nodes)
+        undirected: set[frozenset[str]] = set()
+        for source, target, _kind in self._edge_set:
+            if source in members and target in members and source != target:
+                undirected.add(frozenset((source, target)))
+        parent: dict[str, str] = {m: m for m in members}
+
+        def find(x: str) -> str:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for pair in undirected:
+            a, b = tuple(pair)
+            ra, rb = find(a), find(b)
+            if ra == rb:
+                return False
+            parent[ra] = rb
+        # A self-loop is a cycle in the undirected equivalent.
+        return all(s != t for s, t, _ in self._edge_set if s in members)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._nodes
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"XMLGraph(nodes={self.node_count}, edges={self.edge_count})"

@@ -1,0 +1,61 @@
+"""Serializing XML graphs (and subtrees) back to XML text.
+
+The serializer is used by the storage layer to materialize target-object
+BLOBs: given the ids of the nodes belonging to one target object, it emits
+a well-formed XML fragment that can later be shipped to a presentation
+client without touching the graph again (paper Section 4, load stage
+structure 3).
+"""
+
+from __future__ import annotations
+
+from xml.sax.saxutils import escape, quoteattr
+
+from .model import XMLGraph
+
+
+def serialize_subtree(
+    graph: XMLGraph,
+    root_id: str,
+    include: set[str] | None = None,
+    indent: int = 0,
+) -> str:
+    """Serialize the containment subtree rooted at ``root_id``.
+
+    Args:
+        graph: The source graph.
+        root_id: Root of the fragment.
+        include: Optional whitelist of node ids; children outside the set
+            are skipped (this is how a target object is cut out of the
+            document without dragging its unbounded children along).
+        indent: Current indentation depth (two spaces per level).
+    """
+    node = graph.node(root_id)
+    pad = "  " * indent
+    attrs = f" id={quoteattr(node.node_id)}"
+    children = [
+        child
+        for child in graph.containment_children(root_id)
+        if include is None or child.node_id in include
+    ]
+    refs = [edge.target for edge in graph.out_edges(root_id) if edge.is_reference]
+    if refs:
+        attrs += f" ref={quoteattr(' '.join(refs))}"
+    if not children and node.value is None:
+        return f"{pad}<{node.label}{attrs}/>"
+    if not children:
+        return f"{pad}<{node.label}{attrs}>{escape(node.value or '')}</{node.label}>"
+    lines = [f"{pad}<{node.label}{attrs}>"]
+    if node.value:
+        lines.append(f"{pad}  {escape(node.value)}")
+    for child in children:
+        lines.append(serialize_subtree(graph, child.node_id, include, indent + 1))
+    lines.append(f"{pad}</{node.label}>")
+    return "\n".join(lines)
+
+
+def serialize_graph(graph: XMLGraph, root_tag: str = "xmlgraph") -> str:
+    """Serialize the whole graph, wrapping multiple roots in ``root_tag``."""
+    roots = sorted(graph.roots(), key=lambda n: n.node_id)
+    body = "\n".join(serialize_subtree(graph, root.node_id, indent=1) for root in roots)
+    return f"<{root_tag}>\n{body}\n</{root_tag}>"

@@ -1,0 +1,54 @@
+"""Tests for the Goldman et al. Find/Near proximity baseline."""
+
+import pytest
+
+from repro.baselines import ProximitySearcher
+
+
+@pytest.fixture(scope="module")
+def searcher(figure1_graph):
+    return ProximitySearcher(figure1_graph)
+
+
+class TestRanking:
+    def test_rank_vcr_near_john(self, searcher):
+        ranked = searcher.rank("vcr", "john", limit=5)
+        assert ranked
+        # pr1's description is 6 hops from John's name; subpart names are 8.
+        assert ranked[0].node_id == "pr1d"
+        assert ranked[0].distance == 6
+
+    def test_scores_monotone(self, searcher):
+        ranked = searcher.rank("vcr", "us", limit=10)
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_missing_keywords_empty(self, searcher):
+        assert searcher.rank("zebra", "john") == []
+        assert searcher.rank("vcr", "zebra") == []
+
+    def test_limit_respected(self, searcher):
+        assert len(searcher.rank("vcr", "us", limit=1)) == 1
+
+    def test_out_of_radius_dropped(self, figure1_graph):
+        tight = ProximitySearcher(figure1_graph, max_radius=2)
+        assert tight.rank("vcr", "john") == []
+
+
+class TestDistanceIndex:
+    def test_index_agrees_with_direct(self, figure1_graph):
+        direct = ProximitySearcher(figure1_graph)
+        indexed = ProximitySearcher(figure1_graph)
+        count = indexed.build_distance_index()
+        assert count > 0
+        a = [(r.node_id, r.distance) for r in direct.rank("vcr", "john", limit=5)]
+        b = [(r.node_id, r.distance) for r in indexed.rank("vcr", "john", limit=5)]
+        assert a == b
+
+    def test_multiple_near_objects_accumulate(self, figure1_graph):
+        searcher = ProximitySearcher(figure1_graph)
+        searcher.build_distance_index()
+        # 'us' appears in two nation nodes; scores add up per near object.
+        ranked = searcher.rank("vcr", "us", limit=5)
+        assert ranked
+        assert ranked[0].score > 1.0 / (1.0 + ranked[0].distance) - 1e-9

@@ -1,0 +1,141 @@
+"""Tests for candidate-network generation (Section 4 / Definition 4.1)."""
+
+import pytest
+
+from repro.core import CNGenerator, KeywordQuery
+
+
+@pytest.fixture
+def tpch_gen(tpch):
+    return CNGenerator(
+        tpch.schema, {"tv": {"pa_name"}, "vcr": {"pa_name", "pr_descr"}}
+    )
+
+
+@pytest.fixture
+def dblp_gen(dblp):
+    return CNGenerator(dblp.schema, {"smith": {"aname"}, "chen": {"aname"}})
+
+
+class TestBasics:
+    def test_no_matches_no_cns(self, tpch):
+        gen = CNGenerator(tpch.schema, {"tv": {"pa_name"}, "zebra": set()})
+        assert gen.generate(KeywordQuery.of("tv", "zebra")) == []
+
+    def test_single_keyword(self, tpch):
+        gen = CNGenerator(tpch.schema, {"tv": {"pa_name"}})
+        cns = gen.generate(KeywordQuery.of("tv", max_size=2))
+        assert len(cns) == 1
+        assert cns[0].size == 0
+
+    def test_results_sorted_by_size(self, tpch_gen):
+        cns = tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))
+        sizes = [cn.size for cn in cns]
+        assert sizes == sorted(sizes)
+
+    def test_size_bound_respected(self, tpch_gen):
+        cns = tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=6))
+        assert all(cn.size <= 6 for cn in cns)
+
+    def test_monotone_in_z(self, tpch_gen):
+        small = {cn.canonical_key for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=6))}
+        large = {cn.canonical_key for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))}
+        assert small <= large
+
+
+class TestTotalityAndMinimality:
+    def test_every_cn_total(self, tpch_gen):
+        for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8)):
+            assert cn.covered_keywords() == {"tv", "vcr"}
+
+    def test_keyword_sets_disjoint(self, tpch_gen):
+        for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8)):
+            seen = []
+            for keywords in cn.annotations:
+                for keyword in keywords:
+                    assert keyword not in seen
+                    seen.append(keyword)
+
+    def test_no_free_leaves(self, tpch_gen):
+        for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8)):
+            network = cn.network
+            if network.role_count == 1:
+                continue
+            for role in range(network.role_count):
+                if len(network.incident(role)) == 1:
+                    assert cn.annotations[role], f"free leaf in {cn}"
+
+    def test_non_redundant(self, tpch_gen):
+        cns = tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))
+        keys = [cn.canonical_key for cn in cns]
+        assert len(keys) == len(set(keys))
+
+
+class TestXMLPruning:
+    def test_no_double_containment_parent(self, tpch_gen):
+        """No CN may give a node two containment parents."""
+        for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8)):
+            for role in range(cn.network.role_count):
+                containment_in = sum(
+                    1
+                    for edge in cn.network.incident(role)
+                    if not edge.oriented_from(role) and ">" in edge.edge_id
+                )
+                assert containment_in <= 1
+
+    def test_choice_node_single_child(self, tpch_gen):
+        for cn in tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8)):
+            for role, label in enumerate(cn.network.labels):
+                if label != "line":
+                    continue
+                children = sum(
+                    1
+                    for edge in cn.network.incident(role)
+                    if edge.oriented_from(role) and ">" in edge.edge_id
+                )
+                assert children <= 1
+
+    def test_single_valued_reference_not_duplicated(self, dblp, dblp_gen):
+        """paper~author is unbounded (IDREFS) so fans are allowed; the
+        TPC-H service_call~product reference is single-valued."""
+        cns = dblp_gen.generate(KeywordQuery.of("smith", "chen", max_size=6))
+        author_fans = [
+            cn
+            for cn in cns
+            if any(
+                sum(
+                    1
+                    for edge in cn.network.incident(role)
+                    if edge.oriented_from(role) and edge.edge_id == "paper~author"
+                )
+                >= 2
+                for role in range(cn.network.role_count)
+            )
+        ]
+        assert author_fans  # co-authorship CNs exist
+
+
+class TestPaperExample:
+    def test_tv_vcr_shapes(self, tpch_gen):
+        """The Z=8 CN set contains the five shapes behind the paper's
+        CTSSN1-CTSSN5 (Section 4)."""
+        cns = tpch_gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))
+        texts = [str(cn) for cn in cns]
+        # subpart connection (CTSSN1-like)
+        assert any("sub" in t for t in texts)
+        # order connecting two lineitems (CTSSN4-like)
+        assert any(t.count("lineitem") >= 2 and "order" in t for t in texts)
+        # product description route (CTSSN5-like)
+        assert any("pr_descr" in t for t in texts)
+
+    def test_dedupe_matches_bruteforce(self, dblp):
+        """Canonical dedup must not lose CNs vs the non-deduped generator."""
+        with_dedupe = CNGenerator(
+            dblp.schema, {"smith": {"aname"}, "chen": {"aname"}}, dedupe=True
+        ).generate(KeywordQuery.of("smith", "chen", max_size=5))
+        without = CNGenerator(
+            dblp.schema, {"smith": {"aname"}, "chen": {"aname"}}, dedupe=False
+        ).generate(KeywordQuery.of("smith", "chen", max_size=5))
+        assert {cn.canonical_key for cn in with_dedupe} == {
+            cn.canonical_key for cn in without
+        }

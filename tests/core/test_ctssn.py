@@ -1,0 +1,118 @@
+"""Tests for CN -> CTSSN reduction and the size association f."""
+
+import pytest
+
+from repro.core import (
+    CNGenerator,
+    KeywordQuery,
+    max_ctssn_size,
+    reduce_to_ctssn,
+)
+
+
+@pytest.fixture(scope="module")
+def tpch_ctssns(tpch):
+    gen = CNGenerator(
+        tpch.schema, {"tv": {"pa_name"}, "vcr": {"pa_name", "pr_descr"}}
+    )
+    cns = gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))
+    return [reduce_to_ctssn(cn, tpch.tss) for cn in cns]
+
+
+class TestReduction:
+    def test_dummies_contracted(self, tpch_ctssns):
+        for ctssn in tpch_ctssns:
+            for label in ctssn.network.labels:
+                assert label in {
+                    "Person", "Order", "Lineitem", "Part", "Product", "Service_call",
+                }
+
+    def test_intra_tss_merging(self, tpch_ctssns):
+        """pa_name roles merge into their Part target objects."""
+        for ctssn in tpch_ctssns:
+            assert "pa_name" not in ctssn.network.labels
+
+    def test_score_preserved(self, tpch_ctssns):
+        for ctssn in tpch_ctssns:
+            assert ctssn.score == ctssn.cn.size
+            assert ctssn.size <= ctssn.score
+
+    def test_keyword_constraints_carry_schema_node(self, tpch_ctssns):
+        for ctssn in tpch_ctssns:
+            for role, constraints in ctssn.keyword_roles():
+                for constraint in constraints:
+                    assert constraint.schema_node in {"pa_name", "pr_descr"}
+
+    def test_paper_ctssn_shapes(self, tpch_ctssns):
+        """The reduced set contains the paper's CTSSN1/2/4 shapes."""
+        shapes = {str(c) for c in tpch_ctssns}
+        # CTSSN1: Part(tv) => Part(vcr) via subpart
+        assert any(
+            c.size == 1 and set(c.network.labels) == {"Part"} for c in tpch_ctssns
+        )
+        # CTSSN2-like chain of three parts
+        assert any(
+            c.size == 2 and list(c.network.labels).count("Part") == 3
+            for c in tpch_ctssns
+        )
+        # CTSSN4: Part <- L <- O -> L -> Part
+        assert any(
+            c.size == 4
+            and sorted(c.network.labels)
+            == ["Lineitem", "Lineitem", "Order", "Part", "Part"]
+            for c in tpch_ctssns
+        )
+        del shapes
+
+    def test_single_node_cn_reduces_to_single_role(self, tpch, tpch_ctssns):
+        zero = [c for c in tpch_ctssns if c.score == 0]
+        assert zero and all(c.network.role_count == 1 for c in zero)
+
+    def test_citation_self_edge_reduction(self, dblp):
+        gen = CNGenerator(dblp.schema, {"smith": {"aname"}, "chen": {"aname"}})
+        cns = gen.generate(KeywordQuery.of("smith", "chen", max_size=5))
+        ctssns = [reduce_to_ctssn(cn, dblp.tss) for cn in cns]
+        cite = [c for c in ctssns if c.score == 5]
+        assert cite
+        for ctssn in cite:
+            edge_ids = {edge.edge_id for edge in ctssn.network.edges}
+            assert "Paper=>Paper" in edge_ids
+
+    def test_keywords_of_role(self, tpch_ctssns):
+        pair = [c for c in tpch_ctssns if c.score == 0][0]
+        assert pair.keywords_of_role(0) == {"tv", "vcr"}
+
+    def test_canonical_key_distinguishes_keyword_placement(self, tpch_ctssns):
+        keys = [c.canonical_key for c in tpch_ctssns]
+        assert len(keys) == len(set(keys))
+
+
+class TestSizeAssociation:
+    def test_paper_dblp_value(self, dblp):
+        """The paper: M = f(8) = 6 for two author/title keywords on DBLP."""
+        assert max_ctssn_size(dblp.tss, 8, [{"aname"}, {"title"}]) == 6
+        assert max_ctssn_size(dblp.tss, 8, [{"aname"}, {"aname"}]) == 6
+
+    def test_zero_depth_keywords(self, dblp):
+        # conference values live at the TSS root: no depth cost.
+        assert max_ctssn_size(dblp.tss, 8, [{"conference"}, {"conference"}]) == 8
+
+    def test_bound_is_safe(self, dblp, tpch):
+        """No generated CTSSN may exceed M for its query."""
+        gen = CNGenerator(dblp.schema, {"smith": {"aname"}, "chen": {"aname"}})
+        cns = gen.generate(KeywordQuery.of("smith", "chen", max_size=8))
+        bound = max_ctssn_size(dblp.tss, 8, [{"aname"}, {"aname"}])
+        for cn in cns:
+            assert reduce_to_ctssn(cn, dblp.tss).size <= bound
+
+    def test_tpch_bound_safe(self, tpch):
+        gen = CNGenerator(
+            tpch.schema, {"tv": {"pa_name"}, "vcr": {"pa_name", "pr_descr"}}
+        )
+        cns = gen.generate(KeywordQuery.of("tv", "vcr", max_size=8))
+        bound = max_ctssn_size(tpch.tss, 8, [{"pa_name"}, {"pa_name", "pr_descr"}])
+        for cn in cns:
+            assert reduce_to_ctssn(cn, tpch.tss).size <= bound
+
+    def test_never_negative(self, dblp):
+        assert max_ctssn_size(dblp.tss, 1, [{"aname"}, {"aname"}]) == 0

@@ -1,0 +1,71 @@
+"""Tests for the statistics-based result-count estimator."""
+
+import pytest
+
+from repro.core import ContainingLists, KeywordQuery, Optimizer
+from repro.core.cn_generator import CNGenerator
+from repro.core.ctssn import reduce_to_ctssn
+from repro.core.execution import CTSSNExecutor
+
+
+@pytest.fixture(scope="module")
+def setup(small_dblp_db, dblp):
+    query = KeywordQuery.of("smith", "balmin", max_size=6)
+    containing = ContainingLists.fetch(small_dblp_db.master_index, query)
+    generator = CNGenerator(dblp.schema, containing.schema_nodes())
+    ctssns = [reduce_to_ctssn(cn, dblp.tss) for cn in generator.generate(query)]
+    optimizer = Optimizer(dict(small_dblp_db.stores), small_dblp_db.statistics)
+    return small_dblp_db, containing, ctssns, optimizer
+
+
+class TestEstimator:
+    def test_positive_for_satisfiable_networks(self, setup):
+        _, containing, ctssns, optimizer = setup
+        for ctssn in ctssns:
+            costs = {
+                role: len(containing.allowed_tos(constraints))
+                for role, constraints in ctssn.keyword_roles()
+            }
+            assert optimizer.estimate_results(ctssn, costs) >= 0.0
+
+    def test_longer_citation_chains_estimate_higher(self, setup):
+        """Citation edges fan out, so adding one raises the estimate."""
+        _, containing, ctssns, optimizer = setup
+        chains = {}
+        for ctssn in ctssns:
+            labels = list(ctssn.network.labels)
+            if labels.count("Author") == 2 and all(
+                label in ("Author", "Paper") for label in labels
+            ):
+                chains[ctssn.size] = optimizer.estimate_results(ctssn)
+        if len(chains) >= 2:
+            sizes = sorted(chains)
+            assert chains[sizes[-1]] > chains[sizes[0]]
+
+    def test_keyword_filters_lower_estimate(self, setup):
+        _, containing, ctssns, optimizer = setup
+        ctssn = next(c for c in ctssns if c.size == 2)
+        costs = {
+            role: len(containing.allowed_tos(constraints))
+            for role, constraints in ctssn.keyword_roles()
+        }
+        filtered = optimizer.estimate_results(ctssn, costs)
+        unfiltered = optimizer.estimate_results(ctssn, {})
+        assert filtered <= unfiltered
+
+    def test_rough_calibration(self, setup):
+        """Order-of-magnitude sanity: estimate within 100x of actual on
+        the co-author network (fan-out independence is approximate)."""
+        db, containing, ctssns, optimizer = setup
+        ctssn = next(c for c in ctssns if c.size == 2)
+        costs = {
+            role: len(containing.allowed_tos(constraints))
+            for role, constraints in ctssn.keyword_roles()
+        }
+        estimate = optimizer.estimate_results(ctssn, costs)
+        plan = optimizer.plan(ctssn, costs)
+        executor = CTSSNExecutor(plan, dict(db.stores), containing)
+        actual = sum(1 for _ in executor.run())
+        assert actual > 0
+        assert estimate > 0
+        assert estimate / actual < 100 and actual / max(estimate, 1e-9) < 100

@@ -1,0 +1,79 @@
+"""Tests for containing-list processing and witness semantics."""
+
+import pytest
+
+from repro.core import ContainingLists, KeywordQuery, WitnessConstraint
+from repro.core.engine import XKeyword
+
+
+@pytest.fixture(scope="module")
+def lists(figure1_db):
+    query = KeywordQuery.of("tv", "vcr")
+    return ContainingLists.fetch(figure1_db.master_index, query)
+
+
+class TestFetch:
+    def test_keyword_tos(self, lists):
+        assert lists.keyword_tos["tv"] == {"pa3"}
+        assert lists.keyword_tos["vcr"] == {"pa1", "pa2", "pr1"}
+
+    def test_schema_nodes(self, lists):
+        assert lists.schema_nodes()["vcr"] == {"pa_name", "pr_descr"}
+
+    def test_node_keywords_exact_sets(self, lists):
+        assert lists.node_keywords["pa3n"] == {"tv"}
+        assert lists.node_keywords["pr1d"] == {"vcr"}
+
+    def test_smallest_keyword(self, lists):
+        assert lists.smallest_keyword() == "tv"
+
+
+class TestWitnesses:
+    def test_simple_witness(self, lists):
+        constraint = WitnessConstraint("pa_name", frozenset({"tv"}))
+        assert lists.witnesses("pa3", constraint) == ["pa3n"]
+        assert lists.witnesses("pa1", constraint) == []
+
+    def test_exact_subset_semantics(self, figure1_db):
+        """A part named 'tv vcr' witnesses {tv,vcr} but NOT {tv} alone —
+        DISCOVER's exact-subset rule that keeps results duplication-free."""
+        query = KeywordQuery.of("set", "vcr")
+        lists = ContainingLists.fetch(figure1_db.master_index, query)
+        # pr1's descr 'set of VCR and DVD' contains both query keywords.
+        both = WitnessConstraint("pr_descr", frozenset({"set", "vcr"}))
+        only_vcr = WitnessConstraint("pr_descr", frozenset({"vcr"}))
+        assert lists.witnesses("pr1", both) == ["pr1d"]
+        assert lists.witnesses("pr1", only_vcr) == []
+
+    def test_satisfies_multi_constraint(self, lists):
+        tv = WitnessConstraint("pa_name", frozenset({"tv"}))
+        vcr = WitnessConstraint("pa_name", frozenset({"vcr"}))
+        assert lists.satisfies("pa3", (tv,))
+        assert not lists.satisfies("pa3", (tv, vcr))
+
+    def test_distinct_witness_nodes_required(self, figure1_db):
+        """Two identical constraints need two witness nodes in one TO."""
+        query = KeywordQuery.of("vcr")
+        lists = ContainingLists.fetch(figure1_db.master_index, query)
+        constraint = WitnessConstraint("pa_name", frozenset({"vcr"}))
+        assert not lists.satisfies("pa1", (constraint, constraint))
+        assert lists.satisfies("pa1", (constraint,))
+
+
+class TestAllowedTos:
+    def test_allowed_single_keyword(self, lists):
+        constraint = WitnessConstraint("pa_name", frozenset({"vcr"}))
+        assert lists.allowed_tos((constraint,)) == {"pa1", "pa2"}
+
+    def test_allowed_schema_node_filter(self, lists):
+        constraint = WitnessConstraint("pr_descr", frozenset({"vcr"}))
+        assert lists.allowed_tos((constraint,)) == {"pr1"}
+
+    def test_allowed_empty_constraints(self, lists):
+        assert lists.allowed_tos(()) == set()
+
+    def test_allowed_unsatisfiable(self, lists):
+        constraint = WitnessConstraint(
+            "pa_name", frozenset({"tv", "vcr"})
+        )
+        assert lists.allowed_tos((constraint,)) == set()

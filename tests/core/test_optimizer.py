@@ -1,0 +1,159 @@
+"""Tests for the query optimizer (Section 4)."""
+
+import pytest
+
+from repro.core import ContainingLists, KeywordQuery, Optimizer, PlanningError
+from repro.core.cn_generator import CNGenerator
+from repro.core.ctssn import reduce_to_ctssn
+from repro.decomposition import (
+    Decomposition,
+    Fragment,
+    IndexPolicy,
+    NetEdge,
+    minimal_decomposition,
+    xkeyword_decomposition,
+)
+from repro.storage import RelationStore, load_database
+
+
+@pytest.fixture(scope="module")
+def setup(small_dblp_db, dblp):
+    query = KeywordQuery.of("smith", "balmin", max_size=6)
+    containing = ContainingLists.fetch(small_dblp_db.master_index, query)
+    generator = CNGenerator(dblp.schema, containing.schema_nodes())
+    ctssns = [
+        reduce_to_ctssn(cn, dblp.tss)
+        for cn in generator.generate(query)
+    ]
+    optimizer = Optimizer(dict(small_dblp_db.stores), small_dblp_db.statistics)
+    return small_dblp_db, containing, ctssns, optimizer
+
+
+class TestPlanShape:
+    def test_steps_cover_all_edges(self, setup):
+        _, containing, ctssns, optimizer = setup
+        for ctssn in ctssns:
+            plan = optimizer.plan(ctssn)
+            covered = set()
+            for step in plan.steps:
+                covered |= step.piece.covered_edges
+            assert covered == set(range(ctssn.network.size))
+
+    def test_join_count_is_pieces_minus_one(self, setup):
+        _, _, ctssns, optimizer = setup
+        for ctssn in ctssns:
+            plan = optimizer.plan(ctssn)
+            assert plan.join_count == max(0, len(plan.steps) - 1)
+
+    def test_steps_after_first_share_roles(self, setup):
+        _, _, ctssns, optimizer = setup
+        for ctssn in ctssns:
+            plan = optimizer.plan(ctssn)
+            bound = set(plan.steps[0].roles()) if plan.steps else set()
+            for step in plan.steps[1:]:
+                assert step.shared_roles
+                assert set(step.shared_roles) <= bound
+                bound |= set(step.roles())
+
+    def test_minimal_decomposition_uses_size_joins(self, setup):
+        _, _, ctssns, optimizer = setup
+        for ctssn in ctssns:
+            plan = optimizer.plan(ctssn)
+            # Minimal store: every piece is one edge.
+            assert plan.join_count == max(0, ctssn.size - 1)
+
+    def test_zero_size_network_has_no_steps(self, setup):
+        _, _, ctssns, optimizer = setup
+        zero = [c for c in ctssns if c.size == 0]
+        for ctssn in zero:
+            plan = optimizer.plan(ctssn)
+            assert plan.steps == ()
+
+    def test_describe_mentions_relations(self, setup):
+        _, _, ctssns, optimizer = setup
+        ctssn = next(c for c in ctssns if c.size >= 2)
+        plan = optimizer.plan(ctssn)
+        text = plan.describe()
+        assert "step 0" in text and "join on" in text
+
+
+class TestAnchorChoice:
+    def test_anchor_is_cheapest_keyword_role(self, setup):
+        _, containing, ctssns, optimizer = setup
+        ctssn = next(c for c in ctssns if c.size == 2)
+        costs = {
+            role: len(containing.allowed_tos(constraints))
+            for role, constraints in ctssn.keyword_roles()
+        }
+        plan = optimizer.plan(ctssn, role_costs=costs)
+        cheapest = min(costs, key=lambda role: (costs[role], role))
+        assert plan.anchor_role == cheapest
+        assert plan.anchor_role in plan.steps[0].roles()
+
+    def test_forced_anchor(self, setup):
+        _, _, ctssns, optimizer = setup
+        ctssn = next(c for c in ctssns if c.size == 2)
+        free_role = next(
+            role
+            for role in range(ctssn.network.role_count)
+            if not ctssn.annotations[role]
+        )
+        plan = optimizer.plan(ctssn, anchor_role=free_role)
+        assert plan.anchor_role == free_role
+
+
+class TestJoinBoundsAndErrors:
+    def test_max_joins_violation_raises(self, setup):
+        _, _, ctssns, optimizer = setup
+        big = next(c for c in ctssns if c.size >= 3)
+        with pytest.raises(PlanningError, match="covers"):
+            optimizer.plan(big, max_joins=0)
+
+    def test_wide_store_meets_join_bound(self, small_dblp_graph, dblp, setup):
+        _, _, ctssns, _ = setup
+        xk = xkeyword_decomposition(dblp.tss, 4, 1)
+        loaded = load_database(small_dblp_graph, dblp, [xk])
+        optimizer = Optimizer(dict(loaded.stores), loaded.statistics)
+        for ctssn in ctssns:
+            if ctssn.size > 4:
+                continue
+            plan = optimizer.plan(ctssn, max_joins=1)
+            assert plan.join_count <= 1
+
+
+class TestCostAwareCover:
+    def test_prefers_thin_relations_on_ties(self, small_dblp_graph, dblp):
+        """Two fragments can cover the Author-Paper-Author network in one
+        piece; the optimizer must pick the one with fewer rows."""
+        apa_via_fan = Fragment(
+            ["Paper", "Author", "Author"],
+            [NetEdge(0, 1, "Paper=>Author"), NetEdge(0, 2, "Paper=>Author")],
+        )
+        papa_chain = Fragment(
+            ["Paper", "Paper", "Author"],
+            [NetEdge(0, 1, "Paper=>Paper"), NetEdge(1, 2, "Paper=>Author")],
+        )
+        decomposition = Decomposition(
+            "Test",
+            tuple([apa_via_fan, papa_chain]),
+            IndexPolicy.ALL_ROTATIONS,
+        ).union(minimal_decomposition(dblp.tss), name="TestU")
+        loaded = load_database(small_dblp_graph, dblp, [decomposition])
+        optimizer = Optimizer(dict(loaded.stores), loaded.statistics)
+
+        network = Fragment(
+            ["Author", "Paper", "Author"],
+            [NetEdge(1, 0, "Paper=>Author"), NetEdge(1, 2, "Paper=>Author")],
+        )
+        from repro.core.cn_generator import CandidateNetwork
+        from repro.core.ctssn import CTSSN
+        from repro.decomposition.fragments import TSSNetwork
+
+        ctssn = CTSSN(
+            TSSNetwork(network.labels, network.edges),
+            ((), (), ()),
+            CandidateNetwork(TSSNetwork(["author"], []), (frozenset(),)),
+        )
+        plan = optimizer.plan(ctssn, anchor_role=0)
+        assert len(plan.steps) == 1
+        assert plan.steps[0].relation_name == apa_via_fan.relation_name

@@ -1,0 +1,35 @@
+"""Tests for keyword query objects."""
+
+import pytest
+
+from repro.core import KeywordQuery
+
+
+class TestKeywordQuery:
+    def test_of_constructor(self):
+        q = KeywordQuery.of("TV", "VCR", max_size=6)
+        assert q.keywords == ("tv", "vcr")
+        assert q.max_size == 6
+
+    def test_lowercased(self):
+        assert KeywordQuery.of("John").keywords == ("john",)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one keyword"):
+            KeywordQuery(())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            KeywordQuery(("tv", "TV"))
+
+    def test_negative_max_size_rejected(self):
+        with pytest.raises(ValueError, match="max_size"):
+            KeywordQuery(("tv",), max_size=-1)
+
+    def test_str(self):
+        assert str(KeywordQuery.of("a", "b", max_size=4)) == "[a, b] (Z=4)"
+
+    def test_frozen(self):
+        q = KeywordQuery.of("a")
+        with pytest.raises(AttributeError):
+            q.max_size = 3

@@ -1,0 +1,83 @@
+"""Tests for fragment/network enumeration."""
+
+from repro.decomposition import (
+    Fragment,
+    NetEdge,
+    enumerate_fragments,
+    enumerate_networks,
+    is_useless,
+    subtrees_of,
+)
+
+
+class TestEnumerateFragments:
+    def test_size_one_equals_edge_count(self, tpch):
+        singles = enumerate_fragments(tpch.tss, 1)
+        assert len(singles) == tpch.tss.edge_count
+
+    def test_min_size_filter(self, tpch):
+        only_two = enumerate_fragments(tpch.tss, 2, min_size=2)
+        assert all(f.size == 2 for f in only_two)
+
+    def test_no_useless_fragments(self, tpch):
+        for fragment in enumerate_fragments(tpch.tss, 3):
+            assert not is_useless(fragment, tpch.tss)
+
+    def test_no_duplicates(self, dblp):
+        fragments = enumerate_fragments(dblp.tss, 3)
+        keys = [f.canonical_key() for f in fragments]
+        assert len(keys) == len(set(keys))
+
+    def test_monotone_in_size(self, dblp):
+        small = {f.canonical_key() for f in enumerate_fragments(dblp.tss, 2)}
+        large = {f.canonical_key() for f in enumerate_fragments(dblp.tss, 3)}
+        assert small <= large
+
+    def test_zero_size_empty(self, tpch):
+        assert enumerate_networks(tpch.tss, 0) == []
+
+    def test_choice_excluded(self, tpch):
+        """No enumerated fragment pairs Part and Product under one Lineitem."""
+        for fragment in enumerate_fragments(tpch.tss, 2):
+            labels_used = set()
+            for role in range(fragment.role_count):
+                out_targets = {
+                    fragment.labels[e.other(role)]
+                    for e in fragment.incident(role)
+                    if e.oriented_from(role)
+                }
+                if fragment.labels[role] == "Lineitem":
+                    assert not {"Part", "Product"} <= out_targets
+            del labels_used
+
+
+class TestSubtrees:
+    def test_subtrees_of_chain(self, tpch):
+        chain = Fragment(
+            ["Person", "Order", "Lineitem"],
+            [NetEdge(0, 1, "Person=>Order"), NetEdge(1, 2, "Order=>Lineitem")],
+        )
+        subs = subtrees_of(chain, 1, 2)
+        keys = {s.canonical_key() for s in subs}
+        assert len(keys) == 3  # two singles + the chain itself
+
+    def test_subtrees_respect_bounds(self, tpch):
+        chain = Fragment(
+            ["Person", "Order", "Lineitem"],
+            [NetEdge(0, 1, "Person=>Order"), NetEdge(1, 2, "Order=>Lineitem")],
+        )
+        assert all(s.size == 2 for s in subtrees_of(chain, 2, 2))
+
+    def test_subtrees_of_star(self, tpch):
+        star = Fragment(
+            ["Order", "Lineitem", "Lineitem", "Lineitem"],
+            [
+                NetEdge(0, 1, "Order=>Lineitem"),
+                NetEdge(0, 2, "Order=>Lineitem"),
+                NetEdge(0, 3, "Order=>Lineitem"),
+            ],
+        )
+        subs = subtrees_of(star, 1, 3)
+        sizes = sorted(s.size for s in subs)
+        # single edge, fan of 2, fan of 3 (symmetric duplicates collapse)
+        assert sizes == [1, 2, 3]

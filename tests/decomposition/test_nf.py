@@ -1,0 +1,141 @@
+"""Unit + property tests for the relational dependency substrate."""
+
+from hypothesis import given, strategies as st
+
+from repro.decomposition import (
+    FD,
+    attribute_closure,
+    candidate_keys,
+    is_bcnf,
+    is_superkey,
+    mvd_is_trivial,
+    relation_satisfies_fd,
+    relation_satisfies_mvd,
+    violates_bcnf,
+)
+
+ABC = ["a", "b", "c"]
+
+
+class TestClosure:
+    def test_reflexive(self):
+        assert attribute_closure(["a"], []) == {"a"}
+
+    def test_transitive(self):
+        fds = [FD.of(["a"], ["b"]), FD.of(["b"], ["c"])]
+        assert attribute_closure(["a"], fds) == {"a", "b", "c"}
+
+    def test_composite_lhs(self):
+        fds = [FD.of(["a", "b"], ["c"])]
+        assert attribute_closure(["a"], fds) == {"a"}
+        assert attribute_closure(["a", "b"], fds) == {"a", "b", "c"}
+
+    def test_superkey(self):
+        fds = [FD.of(["a"], ["b", "c"])]
+        assert is_superkey(["a"], ABC, fds)
+        assert not is_superkey(["b"], ABC, fds)
+
+
+class TestKeys:
+    def test_single_key(self):
+        fds = [FD.of(["a"], ["b"]), FD.of(["b"], ["c"])]
+        assert candidate_keys(ABC, fds) == [frozenset({"a"})]
+
+    def test_two_keys(self):
+        fds = [FD.of(["a"], ["b"]), FD.of(["b"], ["a"]), FD.of(["a"], ["c"])]
+        keys = candidate_keys(ABC, fds)
+        assert frozenset({"a"}) in keys and frozenset({"b"}) in keys
+
+    def test_no_fds_whole_relation_is_key(self):
+        assert candidate_keys(ABC, []) == [frozenset(ABC)]
+
+    def test_keys_are_minimal(self):
+        fds = [FD.of(["a"], ["b", "c"])]
+        keys = candidate_keys(ABC, fds)
+        assert keys == [frozenset({"a"})]
+
+
+class TestBCNF:
+    def test_bcnf_holds(self):
+        fds = [FD.of(["a"], ["b", "c"])]
+        assert is_bcnf(ABC, fds)
+
+    def test_transitive_violation(self):
+        fds = [FD.of(["a"], ["b"]), FD.of(["b"], ["c"])]
+        witness = violates_bcnf(ABC, fds)
+        assert witness is not None
+        assert witness.lhs == {"b"}
+
+    def test_trivial_fd_ignored(self):
+        fds = [FD.of(["a", "b"], ["a"])]
+        assert is_bcnf(ABC, fds)
+
+    def test_fd_str(self):
+        assert str(FD.of(["a"], ["b"])) == "{a} -> {b}"
+
+
+class TestInstanceChecks:
+    COLS = ("x", "y", "z")
+
+    def test_fd_holds(self):
+        rows = [(1, 2, 3), (1, 2, 4), (5, 6, 7)]
+        assert relation_satisfies_fd(rows, self.COLS, ["x"], ["y"])
+
+    def test_fd_violated(self):
+        rows = [(1, 2, 3), (1, 9, 4)]
+        assert not relation_satisfies_fd(rows, self.COLS, ["x"], ["y"])
+
+    def test_mvd_holds_cross_product(self):
+        rows = [(1, "m1", "r1"), (1, "m1", "r2"), (1, "m2", "r1"), (1, "m2", "r2")]
+        assert relation_satisfies_mvd(rows, self.COLS, ["x"], ["y"])
+
+    def test_mvd_violated(self):
+        rows = [(1, "m1", "r1"), (1, "m2", "r2")]
+        assert not relation_satisfies_mvd(rows, self.COLS, ["x"], ["y"])
+
+    def test_mvd_trivial_definitions(self):
+        assert mvd_is_trivial(ABC, ["a"], ["a"])
+        assert mvd_is_trivial(ABC, ["a"], ["b", "c"])
+        assert not mvd_is_trivial(ABC, ["a"], ["b"])
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(0, 3)),
+            max_size=30,
+        )
+    )
+    def test_fd_implies_mvd(self, rows):
+        """Any instance satisfying X -> Y also satisfies X ->> Y."""
+        if relation_satisfies_fd(rows, TestInstanceChecks.COLS, ["x"], ["y"]):
+            assert relation_satisfies_mvd(rows, TestInstanceChecks.COLS, ["x"], ["y"])
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 2)),
+            max_size=30,
+        )
+    )
+    def test_mvd_complement_rule(self, rows):
+        """X ->> Y holds iff X ->> (rest) holds (complementation)."""
+        cols = TestInstanceChecks.COLS
+        assert relation_satisfies_mvd(rows, cols, ["x"], ["y"]) == (
+            relation_satisfies_mvd(rows, cols, ["x"], ["z"])
+        )
+
+    @given(
+        st.lists(st.sampled_from(ABC), min_size=1, max_size=3, unique=True),
+        st.lists(
+            st.tuples(
+                st.lists(st.sampled_from(ABC), min_size=1, max_size=2, unique=True),
+                st.lists(st.sampled_from(ABC), min_size=1, max_size=2, unique=True),
+            ),
+            max_size=4,
+        ),
+    )
+    def test_closure_is_monotone_and_idempotent(self, attrs, raw_fds):
+        fds = [FD.of(lhs, rhs) for lhs, rhs in raw_fds]
+        closure = attribute_closure(attrs, fds)
+        assert set(attrs) <= closure
+        assert attribute_closure(closure, fds) == closure

@@ -1,0 +1,159 @@
+"""Tests for decomposition strategies (Section 5.1 / Figure 12)."""
+
+import pytest
+
+from repro.decomposition import (
+    FragmentClass,
+    IndexPolicy,
+    classify_fragment,
+    combined_decomposition,
+    complete_decomposition,
+    covers_with_joins,
+    enumerate_networks,
+    fragment_size_bound,
+    maximal_decomposition,
+    minimal_decomposition,
+    xkeyword_decomposition,
+)
+
+
+class TestSizeBound:
+    def test_theorem_51_extremes(self):
+        # B = 0 (maximal decomposition): fragments as big as the networks.
+        assert fragment_size_bound(6, 0) == 6
+        # B = M - 1 (minimal decomposition): single edges suffice.
+        assert fragment_size_bound(6, 5) == 1
+
+    def test_bound_values(self):
+        assert fragment_size_bound(6, 2) == 2
+        assert fragment_size_bound(8, 2) == 3
+        assert fragment_size_bound(5, 2) == 2
+        assert fragment_size_bound(1, 0) == 1
+        assert fragment_size_bound(6, 5) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            fragment_size_bound(0, 1)
+        with pytest.raises(ValueError):
+            fragment_size_bound(3, -1)
+
+
+class TestMinimal:
+    def test_names_follow_policy(self, tpch):
+        assert minimal_decomposition(tpch.tss).name == "MinClust"
+        assert (
+            minimal_decomposition(tpch.tss, IndexPolicy.SINGLE_COLUMN_INDEXES).name
+            == "MinNClustIndx"
+        )
+        assert (
+            minimal_decomposition(tpch.tss, IndexPolicy.NONE).name == "MinNClustNIndx"
+        )
+
+    def test_one_fragment_per_edge(self, tpch):
+        decomposition = minimal_decomposition(tpch.tss)
+        assert decomposition.size == tpch.tss.edge_count
+        assert decomposition.covers_all_edges(tpch.tss)
+
+    def test_all_fragments_single_edge(self, tpch):
+        assert all(f.size == 1 for f in minimal_decomposition(tpch.tss).fragments)
+
+
+class TestComplete:
+    def test_contains_mvd_fragments(self, dblp):
+        decomposition = complete_decomposition(dblp.tss, 4, 1)
+        classes = {
+            classify_fragment(f, dblp.tss).fragment_class
+            for f in decomposition.fragments
+        }
+        assert FragmentClass.MVD in classes
+
+    def test_covers_all_edges(self, dblp):
+        assert complete_decomposition(dblp.tss, 4, 1).covers_all_edges(dblp.tss)
+
+
+class TestXKeyword:
+    @pytest.fixture(scope="class")
+    def xk(self, dblp):
+        return xkeyword_decomposition(dblp.tss, 4, 1)
+
+    def test_covers_all_networks_within_bound(self, dblp, xk):
+        networks = enumerate_networks(dblp.tss, 4)
+        for network in networks:
+            assert covers_with_joins(network, list(xk.fragments), 1), str(network)
+
+    def test_mvd_fragments_only_when_needed(self, dblp, xk):
+        """Every MVD fragment chosen must rescue some network no non-MVD
+        set could cover; sanity-check there are few of them."""
+        mvd_count = sum(
+            1
+            for f in xk.fragments
+            if classify_fragment(f, dblp.tss).fragment_class is FragmentClass.MVD
+        )
+        assert 0 < mvd_count < len(xk.fragments) / 2
+
+    def test_valid_decomposition(self, dblp, xk):
+        assert xk.covers_all_edges(dblp.tss)
+
+    def test_duplicate_fragments_rejected(self, dblp, xk):
+        with pytest.raises(ValueError, match="duplicate"):
+            type(xk)(xk.name, xk.fragments + (xk.fragments[0],), xk.index_policy)
+
+
+class TestCombined:
+    def test_union_contains_both(self, dblp):
+        combined = combined_decomposition(dblp.tss, 4, 1)
+        minimal = minimal_decomposition(dblp.tss)
+        names = {f.relation_name for f in combined.fragments}
+        for fragment in minimal.fragments:
+            assert fragment.relation_name in names
+
+    def test_union_dedupes(self, dblp):
+        minimal = minimal_decomposition(dblp.tss)
+        union = minimal.union(minimal, name="Twice")
+        assert union.size == minimal.size
+
+
+class TestMaximal:
+    def test_zero_joins_for_every_network(self, dblp):
+        decomposition = maximal_decomposition(dblp.tss, 3)
+        for network in enumerate_networks(dblp.tss, 3):
+            assert covers_with_joins(network, list(decomposition.fragments), 0)
+
+    def test_space_blowup_vs_minimal(self, dblp):
+        maximal = maximal_decomposition(dblp.tss, 3)
+        minimal = minimal_decomposition(dblp.tss)
+        assert maximal.size > 3 * minimal.size
+
+
+class TestTheorem52:
+    def test_star_graph_needs_all_size_l_fragments(self):
+        """Theorem 5.2 on a star-shaped TSS graph: with M = L(B+1), every
+        size-L fragment is required (dropping any one breaks coverage of
+        some size-M network)."""
+        from repro.schema import NodeType, SchemaGraph, derive_tss_graph
+        from repro.decomposition import (
+            enumerate_fragments,
+            star_fragments_required,
+        )
+
+        # A hub with three unbounded containment children: all edges are
+        # star edges in the theorem's sense.
+        schema = SchemaGraph()
+        for name in ("hub", "a", "b", "c"):
+            schema.add_node(name)
+        for child in ("a", "b", "c"):
+            schema.add_edge("hub", child)
+        tss = derive_tss_graph(
+            schema, {"hub": "Hub", "a": "A", "b": "B", "c": "C"}
+        )
+        required = star_fragments_required(tss, max_network_size=4, max_joins=1)
+        all_l = enumerate_fragments(tss, 2, min_size=2)
+        assert {f.relation_name for f in required} == {
+            f.relation_name for f in all_l
+        }
+
+    def test_requires_exact_divisibility(self, dblp):
+        from repro.decomposition import star_fragments_required
+
+        with pytest.raises(ValueError, match="Theorem 5.2"):
+            star_fragments_required(dblp.tss, max_network_size=5, max_joins=1)

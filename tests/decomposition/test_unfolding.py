@@ -1,0 +1,103 @@
+"""Tests for walk sets and unfolded TSS graphs (Definitions 5.1/5.2)."""
+
+import pytest
+
+from repro.decomposition import Fragment, NetEdge, enumerate_fragments
+from repro.decomposition.unfolding import (
+    UnfoldedGraph,
+    embeds_in_unfolding,
+    is_subgraph_of_unfolding,
+    tree_walks,
+    unfold,
+)
+
+
+class TestUnfold:
+    def test_levels_and_edges(self, tpch):
+        unfolded = unfold(tpch.tss, 2, width=1)
+        tss_count = len(tpch.tss.tss_names())
+        assert len(unfolded.labels) == 3 * tss_count
+        assert len(unfolded.edges) == 2 * tpch.tss.edge_count
+
+    def test_width_multiplies_copies(self, tpch):
+        narrow = unfold(tpch.tss, 2, width=1)
+        wide = unfold(tpch.tss, 2, width=2)
+        assert len(wide.labels) == 2 * len(narrow.labels)
+        assert len(wide.edges) == 4 * len(narrow.edges)
+
+    def test_depth_validation(self, tpch):
+        with pytest.raises(ValueError):
+            unfold(tpch.tss, 0)
+        with pytest.raises(ValueError):
+            unfold(tpch.tss, 2, width=0)
+
+    def test_unrolled_cycle_is_acyclic(self, tpch):
+        """Figure 10: the Part -> Part cycle unrolls into levels."""
+        unfolded = unfold(tpch.tss, 3)
+        # No edge goes backward or stays within a level.
+        part_positions = [
+            i for i, label in enumerate(unfolded.labels) if label == "Part"
+        ]
+        for source, target, edge_id in unfolded.edges:
+            if edge_id == "Part=>Part":
+                assert source in part_positions and target in part_positions
+                assert target > source
+
+
+class TestDefinition52:
+    def test_every_enumerated_fragment_is_valid(self, tpch):
+        for fragment in enumerate_fragments(tpch.tss, 3):
+            assert is_subgraph_of_unfolding(fragment, tpch.tss)
+
+    def test_label_mismatch_rejected(self, tpch):
+        bogus = Fragment(["Person", "Part"], [NetEdge(0, 1, "Person=>Order")])
+        assert not is_subgraph_of_unfolding(bogus, tpch.tss)
+
+    def test_unknown_edge_rejected(self, tpch):
+        bogus = Fragment(["Person", "Order"], [NetEdge(0, 1, "Nope=>Nope")])
+        assert not is_subgraph_of_unfolding(bogus, tpch.tss)
+
+    def test_fragments_embed_into_explicit_unfoldings(self, tpch):
+        """The constructive half: a valid fragment of size s embeds into
+        unfold(G, s)."""
+        for fragment in enumerate_fragments(tpch.tss, 2):
+            unfolded = unfold(tpch.tss, fragment.size)
+            assert embeds_in_unfolding(fragment, unfolded), str(fragment)
+
+    def test_double_subpart_fragment_needs_unfolding(self, tpch):
+        """The CTSSN2 story: Part -> Part -> Part stores the same TSS edge
+        twice — impossible in G itself, fine in its unfolding."""
+        chain = Fragment(
+            ["Part", "Part", "Part"],
+            [NetEdge(0, 1, "Part=>Part"), NetEdge(1, 2, "Part=>Part")],
+        )
+        assert is_subgraph_of_unfolding(chain, tpch.tss)
+        assert embeds_in_unfolding(chain, unfold(tpch.tss, 2))
+
+
+class TestTreeWalks:
+    def test_walks_of_single_edge(self, tpch):
+        fragment = Fragment(["Person", "Order"], [NetEdge(0, 1, "Person=>Order")])
+        walks = set(tree_walks(fragment))
+        assert ("Person", ">Person=>Order", "Order") in walks
+        assert ("Order", "<Person=>Order", "Person") in walks
+
+    def test_walk_count_for_tree(self, tpch):
+        chain = Fragment(
+            ["Person", "Order", "Lineitem"],
+            [NetEdge(0, 1, "Person=>Order"), NetEdge(1, 2, "Order=>Lineitem")],
+        )
+        walks = list(tree_walks(chain))
+        # ordered pairs of distinct roles
+        assert len(walks) == 6
+
+    def test_walk_labels_alternate(self, tpch):
+        chain = Fragment(
+            ["Person", "Order", "Lineitem"],
+            [NetEdge(0, 1, "Person=>Order"), NetEdge(1, 2, "Order=>Lineitem")],
+        )
+        for walk in tree_walks(chain):
+            assert len(walk) % 2 == 1
+            for index, token in enumerate(walk):
+                if index % 2 == 1:
+                    assert token[0] in "<>"

@@ -1,0 +1,102 @@
+"""Tests for the useless-fragment rules (paper Section 5)."""
+
+from repro.decomposition import Fragment, NetEdge, conflicting_roles, is_useless
+
+
+def frag(labels, edges):
+    return Fragment(labels, edges)
+
+
+class TestChoiceRule:
+    def test_palpr_is_useless(self, tpch):
+        """The paper's example: Pa <- L -> Pr through the choice node."""
+        palpr = frag(
+            ["Part", "Lineitem", "Product"],
+            [NetEdge(1, 0, "Lineitem=>Part"), NetEdge(1, 2, "Lineitem=>Product")],
+        )
+        assert is_useless(palpr, tpch.tss)
+        assert conflicting_roles(palpr, tpch.tss) == [1]
+
+    def test_lineitem_two_parts_useless(self, tpch):
+        two_parts = frag(
+            ["Part", "Lineitem", "Part"],
+            [NetEdge(1, 0, "Lineitem=>Part"), NetEdge(1, 2, "Lineitem=>Part")],
+        )
+        assert is_useless(two_parts, tpch.tss)
+
+    def test_part_two_subparts_fine(self, tpch):
+        fan = frag(
+            ["Part", "Part", "Part"],
+            [NetEdge(0, 1, "Part=>Part"), NetEdge(0, 2, "Part=>Part")],
+        )
+        assert not is_useless(fan, tpch.tss)
+
+
+class TestDoubleParentRule:
+    def test_shared_product_reference_is_satisfiable(self, tpch):
+        """L1 -> Pr <- L2 through *references*: two lineitems may share a
+        product (Figure 1 shows exactly that)."""
+        l1prl2 = frag(
+            ["Lineitem", "Product", "Lineitem"],
+            [NetEdge(0, 1, "Lineitem=>Product"), NetEdge(2, 1, "Lineitem=>Product")],
+        )
+        assert not is_useless(l1prl2, tpch.tss)
+
+    def test_two_containment_parents_useless_tpch(self, tpch):
+        """An order contained in two persons is impossible."""
+        two_parents = frag(
+            ["Person", "Order", "Person"],
+            [NetEdge(0, 1, "Person=>Order"), NetEdge(2, 1, "Person=>Order")],
+        )
+        assert is_useless(two_parents, tpch.tss)
+        assert conflicting_roles(two_parents, tpch.tss) == [1]
+
+    def test_two_reference_parents_fine(self, tpch):
+        """Two lineitems may reference the same supplier person."""
+        shared_supplier = frag(
+            ["Lineitem", "Person", "Lineitem"],
+            [NetEdge(0, 1, "Lineitem=>Person"), NetEdge(2, 1, "Lineitem=>Person")],
+        )
+        assert not is_useless(shared_supplier, tpch.tss)
+
+    def test_two_cited_by_fine(self, dblp):
+        """A paper cited by two papers is satisfiable (references)."""
+        cited_twice = frag(
+            ["Paper", "Paper", "Paper"],
+            [NetEdge(0, 1, "Paper=>Paper"), NetEdge(2, 1, "Paper=>Paper")],
+        )
+        assert not is_useless(cited_twice, dblp.tss)
+
+    def test_two_containment_parents_useless(self, dblp):
+        """A paper in two conference years is impossible."""
+        two_years = frag(
+            ["Year", "Paper", "Year"],
+            [NetEdge(0, 1, "Year=>Paper"), NetEdge(2, 1, "Year=>Paper")],
+        )
+        assert is_useless(two_years, dblp.tss)
+
+
+class TestMaxOccurs:
+    def test_lineitem_two_suppliers_useless(self, tpch):
+        """lineitem -> supplier is maxoccurs=1, so two Person edges out of
+        one lineitem cannot be realized."""
+        two_suppliers = frag(
+            ["Person", "Lineitem", "Person"],
+            [NetEdge(1, 0, "Lineitem=>Person"), NetEdge(1, 2, "Lineitem=>Person")],
+        )
+        assert is_useless(two_suppliers, tpch.tss)
+
+    def test_paper_two_citations_fine(self, dblp):
+        fan = frag(
+            ["Paper", "Paper", "Paper"],
+            [NetEdge(1, 0, "Paper=>Paper"), NetEdge(1, 2, "Paper=>Paper")],
+        )
+        assert not is_useless(fan, dblp.tss)
+
+    def test_mixed_conflict_and_ok_edges(self, tpch):
+        """Person=>Order twice is fine; the double supplier is not."""
+        mixed = frag(
+            ["Order", "Person", "Order"],
+            [NetEdge(1, 0, "Person=>Order"), NetEdge(1, 2, "Person=>Order")],
+        )
+        assert not is_useless(mixed, tpch.tss)

@@ -1,0 +1,50 @@
+"""Unit tests for the built-in catalogs."""
+
+import pytest
+
+from repro.schema import get_catalog
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_catalog("tpch").name == "tpch"
+        assert get_catalog("dblp").name == "dblp"
+
+    def test_unknown_catalog(self):
+        with pytest.raises(KeyError, match="unknown catalog"):
+            get_catalog("imdb")
+
+
+class TestTPCH:
+    def test_choice_node(self, tpch):
+        assert tpch.schema.node("line").is_choice
+
+    def test_text_nodes_are_tss_members(self, tpch):
+        for text_node in tpch.text_nodes:
+            assert tpch.tss.tss_of(text_node) is not None
+
+    def test_edge_count_matches_figure6(self, tpch):
+        # Figure 6 shows 8 TSS edges (Person->Order, Person->Service_call,
+        # Service_call->Product, Order->Lineitem, Lineitem->Person,
+        # Lineitem->Part, Lineitem->Product, Part->Part).
+        assert tpch.tss.edge_count == 8
+
+
+class TestDBLP:
+    def test_tss_set_matches_figure14(self, dblp):
+        assert set(dblp.tss.tss_names()) == {"Conference", "Year", "Paper", "Author"}
+
+    def test_four_edges(self, dblp):
+        ids = {e.edge_id for e in dblp.tss.edges()}
+        assert ids == {
+            "Conference=>Year", "Year=>Paper", "Paper=>Author", "Paper=>Paper",
+        }
+
+    def test_author_name_depth_one(self, dblp):
+        # The paper's size association M = f(8) = 6 needs author keywords
+        # one containment step below the Author TSS root.
+        assert dblp.tss.tss("Author").depth_of("aname") == 1
+
+    def test_paper_members(self, dblp):
+        members = dblp.tss.tss("Paper").schema_nodes
+        assert {"paper", "title", "pages", "url"} <= set(members)

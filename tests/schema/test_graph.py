@@ -1,0 +1,87 @@
+"""Unit tests for schema graphs."""
+
+import pytest
+
+from repro.schema import NodeType, SchemaError, SchemaGraph, UNBOUNDED
+from repro.xmlgraph import EdgeKind
+
+
+@pytest.fixture
+def schema():
+    s = SchemaGraph()
+    s.add_node("person")
+    s.add_node("order")
+    s.add_node("line", NodeType.CHOICE)
+    s.add_edge("person", "order")
+    s.add_edge("order", "line", maxoccurs=1)
+    s.add_edge("line", "person", EdgeKind.REFERENCE)
+    return s
+
+
+class TestNodes:
+    def test_choice_flag(self, schema):
+        assert schema.node("line").is_choice
+        assert not schema.node("person").is_choice
+
+    def test_duplicate_node_rejected(self, schema):
+        with pytest.raises(SchemaError, match="duplicate"):
+            schema.add_node("person")
+
+    def test_unknown_node_raises(self, schema):
+        with pytest.raises(SchemaError, match="unknown"):
+            schema.node("ghost")
+
+    def test_contains(self, schema):
+        assert "person" in schema
+        assert "ghost" not in schema
+
+
+class TestEdges:
+    def test_default_maxoccurs_containment_unbounded(self, schema):
+        edge = schema.find_edge("person", "order")
+        assert edge.maxoccurs == UNBOUNDED
+        assert not edge.occurs_once
+
+    def test_default_maxoccurs_reference_is_one(self, schema):
+        edge = schema.find_edge("line", "person", EdgeKind.REFERENCE)
+        assert edge.maxoccurs == 1
+        assert edge.occurs_once
+
+    def test_explicit_unbounded_reference(self):
+        s = SchemaGraph()
+        s.add_node("paper")
+        s.add_node("author")
+        edge = s.add_edge("paper", "author", EdgeKind.REFERENCE, maxoccurs=UNBOUNDED)
+        assert edge.maxoccurs == UNBOUNDED
+
+    def test_invalid_maxoccurs_rejected(self, schema):
+        s = SchemaGraph()
+        s.add_node("a")
+        s.add_node("b")
+        with pytest.raises(SchemaError, match="maxoccurs"):
+            s.add_edge("a", "b", maxoccurs=0)
+
+    def test_duplicate_edge_rejected(self, schema):
+        with pytest.raises(SchemaError, match="duplicate schema edge"):
+            schema.add_edge("person", "order")
+
+    def test_same_pair_different_kind_allowed(self):
+        s = SchemaGraph()
+        s.add_node("a")
+        s.add_node("b")
+        s.add_edge("a", "b")
+        s.add_edge("a", "b", EdgeKind.REFERENCE)
+        assert s.edge_count == 2
+
+    def test_unknown_endpoint_rejected(self, schema):
+        with pytest.raises(SchemaError, match="unknown schema node"):
+            schema.add_edge("person", "ghost")
+
+    def test_in_out_edges(self, schema):
+        assert [e.target for e in schema.out_edges("person")] == ["order"]
+        assert [e.source for e in schema.in_edges("person")] == ["line"]
+        assert len(schema.incident_edges("order")) == 2
+
+    def test_edge_str_markers(self, schema):
+        assert str(schema.find_edge("person", "order")) == "person->order"
+        assert "~>" in str(schema.find_edge("line", "person", EdgeKind.REFERENCE))

@@ -1,0 +1,51 @@
+"""Tests for the TSS-mapping suggestion heuristic."""
+
+from repro.schema import derive_tss_graph
+from repro.schema.suggest import suggest_tss_mapping
+
+
+class TestTPCH:
+    def test_matches_figure6(self, tpch):
+        """The heuristic reproduces the paper's Figure 6 decomposition."""
+        suggestion = suggest_tss_mapping(tpch.schema, tpch.text_nodes)
+        assert sorted(suggestion.dummies) == ["line", "sub", "supplier"]
+        by_tss = {}
+        for node, tss in suggestion.mapping.items():
+            by_tss.setdefault(tss, set()).add(node)
+        assert by_tss["Person"] == {"person", "pname", "nation"}
+        assert by_tss["Part"] == {"part", "pa_key", "pa_name"}
+        assert by_tss["Lineitem"] == {"lineitem", "quantity", "ship"}
+
+    def test_suggestion_is_derivable(self, tpch):
+        """The proposed mapping must produce a valid TSS graph."""
+        suggestion = suggest_tss_mapping(tpch.schema, tpch.text_nodes)
+        tss = derive_tss_graph(tpch.schema, suggestion.mapping)
+        assert set(tss.tss_names()) == set(suggestion.tss_names())
+        # Same TSS edges as the hand-written catalog (names differ only
+        # by direct construction order).
+        assert tss.edge_count == tpch.tss.edge_count
+
+    def test_rationale_provided(self, tpch):
+        suggestion = suggest_tss_mapping(tpch.schema, tpch.text_nodes)
+        assert "dummy" in suggestion.rationale["supplier"]
+        assert "attribute" in suggestion.rationale["pname"]
+
+    def test_describe(self, tpch):
+        text = suggest_tss_mapping(tpch.schema, tpch.text_nodes).describe()
+        assert "dummies:" in text and "Person:" in text
+
+
+class TestDBLP:
+    def test_matches_figure14_structure(self, dblp):
+        suggestion = suggest_tss_mapping(dblp.schema, dblp.text_nodes)
+        by_tss = {}
+        for node, tss in suggestion.mapping.items():
+            by_tss.setdefault(tss, set()).add(node)
+        assert by_tss["Paper"] == {"paper", "title", "pages", "url"}
+        assert by_tss["Author"] == {"author", "aname"}
+        assert suggestion.dummies == []
+
+    def test_derivable(self, dblp):
+        suggestion = suggest_tss_mapping(dblp.schema, dblp.text_nodes)
+        tss = derive_tss_graph(dblp.schema, suggestion.mapping)
+        assert tss.edge_count == dblp.tss.edge_count

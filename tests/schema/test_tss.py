@@ -1,0 +1,161 @@
+"""Unit tests for TSS graph derivation and edge semantics."""
+
+import pytest
+
+from repro.schema import (
+    NodeType,
+    SchemaError,
+    SchemaGraph,
+    UNBOUNDED,
+    derive_tss_graph,
+    edges_conflict_at_source,
+)
+from repro.xmlgraph import EdgeKind
+
+
+class TestDerivation:
+    def test_tpch_tss_nodes(self, tpch):
+        assert set(tpch.tss.tss_names()) == {
+            "Person", "Service_call", "Order", "Lineitem", "Part", "Product",
+        }
+
+    def test_tpch_dummies(self, tpch):
+        for dummy in ("supplier", "line", "sub"):
+            assert tpch.tss.is_dummy(dummy)
+        assert not tpch.tss.is_dummy("person")
+
+    def test_tpch_edges(self, tpch):
+        ids = {e.edge_id for e in tpch.tss.edges()}
+        assert "Person=>Order" in ids
+        assert "Lineitem=>Person" in ids  # through the supplier dummy
+        assert "Part=>Part" in ids  # through the sub dummy
+        assert "Lineitem=>Part" in ids and "Lineitem=>Product" in ids
+
+    def test_dblp_citation_self_edge(self, dblp):
+        edge = dblp.tss.edge("Paper=>Paper")
+        assert edge.source == edge.target == "Paper"
+        assert edge.schema_length == 1
+
+    def test_schema_path_through_dummy(self, tpch):
+        edge = tpch.tss.edge("Lineitem=>Person")
+        assert [hop.source for hop in edge.path] == ["lineitem", "supplier"]
+        assert edge.path[-1].is_reference
+
+    def test_line_paths_are_references(self, tpch):
+        for edge_id in ("Lineitem=>Part", "Lineitem=>Product"):
+            edge = tpch.tss.edge(edge_id)
+            assert [hop.source for hop in edge.path] == ["lineitem", "line"]
+            assert edge.path[-1].is_reference
+
+    def test_member_depths(self, tpch):
+        person = tpch.tss.tss("Person")
+        assert person.root == "person"
+        assert person.depth_of("pname") == 1
+        assert person.depth_of("person") == 0
+
+    def test_depth_of_non_member_raises(self, tpch):
+        with pytest.raises(SchemaError, match="not a member"):
+            tpch.tss.tss("Person").depth_of("order")
+
+    def test_semantic_labels(self, tpch):
+        edge = tpch.tss.edge("Part=>Part")
+        assert edge.forward_label == "sub"
+        assert edge.backward_label == "sub of"
+
+    def test_tss_of_lookup(self, tpch):
+        assert tpch.tss.tss_of("pname") == "Person"
+        assert tpch.tss.tss_of("supplier") is None
+
+    def test_disconnected_tss_members_rejected(self):
+        s = SchemaGraph()
+        s.add_node("a")
+        s.add_node("b")
+        with pytest.raises(SchemaError, match="single\\s+containment tree"):
+            derive_tss_graph(s, {"a": "T", "b": "T"})
+
+    def test_duplicate_mapping_rejected(self, tpch):
+        s = SchemaGraph()
+        s.add_node("a")
+        with pytest.raises(SchemaError):
+            graph = derive_tss_graph(s, {"a": "T"})
+            graph.add_tss(graph.tss("T"))
+
+
+class TestMultiplicity:
+    def test_containment_forward_many(self, tpch):
+        edge = tpch.tss.edge("Person=>Order")
+        assert edge.forward_many(tpch.schema)
+        assert not edge.backward_many(tpch.schema)
+
+    def test_reference_backward_many(self, tpch):
+        edge = tpch.tss.edge("Lineitem=>Person")
+        assert not edge.forward_many(tpch.schema)  # one supplier per lineitem
+        assert edge.backward_many(tpch.schema)  # many lineitems per person
+
+    def test_choice_path_forward_one(self, tpch):
+        edge = tpch.tss.edge("Lineitem=>Part")
+        assert not edge.forward_many(tpch.schema)
+        # The line references its part (paper Figure 8: LPa_ref), so the
+        # part gains no containment parent through this edge.
+        assert not edge.terminal_containment
+        assert edge.backward_many(tpch.schema)
+
+    def test_part_subpart_many(self, tpch):
+        edge = tpch.tss.edge("Part=>Part")
+        assert edge.forward_many(tpch.schema)
+        assert edge.max_parallel(tpch.schema) == UNBOUNDED
+
+    def test_max_parallel_bottleneck(self, tpch):
+        edge = tpch.tss.edge("Lineitem=>Part")
+        assert edge.max_parallel(tpch.schema) == 1
+
+    def test_citation_both_many(self, dblp):
+        edge = dblp.tss.edge("Paper=>Paper")
+        assert edge.forward_many(dblp.schema)
+        assert edge.backward_many(dblp.schema)
+        assert not edge.terminal_containment
+
+
+class TestConflicts:
+    def test_choice_alternatives_conflict(self, tpch):
+        part = tpch.tss.edge("Lineitem=>Part")
+        product = tpch.tss.edge("Lineitem=>Product")
+        assert edges_conflict_at_source(part, product, tpch.schema)
+
+    def test_same_edge_twice_through_bottleneck_conflicts(self, tpch):
+        part = tpch.tss.edge("Lineitem=>Part")
+        assert edges_conflict_at_source(part, part, tpch.schema)
+
+    def test_same_edge_twice_with_fanout_ok(self, tpch):
+        orders = tpch.tss.edge("Person=>Order")
+        assert not edges_conflict_at_source(orders, orders, tpch.schema)
+
+    def test_distinct_edges_no_conflict(self, tpch):
+        orders = tpch.tss.edge("Person=>Order")
+        calls = tpch.tss.edge("Person=>Service_call")
+        assert not edges_conflict_at_source(orders, calls, tpch.schema)
+
+    def test_citations_no_conflict(self, dblp):
+        cites = dblp.tss.edge("Paper=>Paper")
+        assert not edges_conflict_at_source(cites, cites, dblp.schema)
+
+
+class TestGraphQueries:
+    def test_min_edge_schema_length(self, tpch, dblp):
+        assert tpch.tss.min_edge_schema_length() == 1
+        assert dblp.tss.min_edge_schema_length() == 1
+
+    def test_max_keyword_depth(self, tpch):
+        assert tpch.tss.max_keyword_depth() == 1
+
+    def test_incident_edges(self, tpch):
+        incident = {e.edge_id for e in tpch.tss.incident_edges("Lineitem")}
+        assert "Order=>Lineitem" in incident
+        assert "Lineitem=>Part" in incident
+
+    def test_empty_tss_graph_min_length_raises(self):
+        s = SchemaGraph()
+        s.add_node("a")
+        graph = derive_tss_graph(s, {"a": "A"})
+        with pytest.raises(SchemaError, match="no edges"):
+            graph.min_edge_schema_length()

@@ -1,0 +1,98 @@
+"""Unit tests for schema conformance validation."""
+
+import pytest
+
+from repro.schema import NodeType, SchemaError, SchemaGraph, check_conformance, validate
+from repro.xmlgraph import EdgeKind, XMLGraph
+
+
+@pytest.fixture
+def schema():
+    s = SchemaGraph()
+    s.add_node("order")
+    s.add_node("lineitem")
+    s.add_node("line", NodeType.CHOICE)
+    s.add_node("part")
+    s.add_node("product")
+    s.add_edge("order", "lineitem")
+    s.add_edge("lineitem", "line", maxoccurs=1)
+    s.add_edge("line", "part")
+    s.add_edge("line", "product")
+    s.add_edge("lineitem", "part", EdgeKind.REFERENCE)
+    return s
+
+
+def conforming():
+    g = XMLGraph()
+    g.add_node("o", "order")
+    g.add_node("l", "lineitem")
+    g.add_node("li", "line")
+    g.add_node("pa", "part")
+    g.add_edge("o", "l")
+    g.add_edge("l", "li")
+    g.add_edge("li", "pa")
+    return g
+
+
+class TestValidate:
+    def test_conforming_graph_clean(self, schema):
+        assert validate(conforming(), schema) == []
+        check_conformance(conforming(), schema)
+
+    def test_unknown_tag(self, schema):
+        g = conforming()
+        g.add_node("x", "mystery")
+        violations = validate(g, schema)
+        assert any("mystery" in str(v) for v in violations)
+
+    def test_edge_not_in_schema(self, schema):
+        g = conforming()
+        g.add_node("o2", "order")
+        g.add_edge("pa", "o2")  # parts do not contain orders
+        violations = validate(g, schema)
+        assert any("not in schema" in v.message for v in violations)
+
+    def test_maxoccurs_violation(self, schema):
+        g = conforming()
+        g.add_node("li2", "line")
+        g.add_edge("l", "li2")  # second line under one lineitem
+        violations = validate(g, schema)
+        assert any("maxoccurs" in v.message for v in violations)
+
+    def test_choice_with_two_children(self, schema):
+        g = conforming()
+        g.add_node("pr", "product")
+        g.add_edge("li", "pr")  # line holds both part and product
+        violations = validate(g, schema)
+        assert any("choice" in v.message for v in violations)
+
+    def test_reference_kind_checked(self, schema):
+        g = conforming()
+        g.add_node("l2", "lineitem")
+        g.add_edge("o", "l2")
+        g.add_edge("l2", "pa", EdgeKind.REFERENCE)
+        assert validate(g, schema) == []
+
+    def test_check_conformance_raises_with_summary(self, schema):
+        g = conforming()
+        g.add_node("x", "mystery")
+        with pytest.raises(SchemaError, match="does not conform"):
+            check_conformance(g, schema)
+
+    def test_violation_str(self, schema):
+        g = conforming()
+        g.add_node("x", "mystery")
+        violation = validate(g, schema)[0]
+        assert violation.node_id == "x"
+        assert "x:" in str(violation)
+
+
+class TestCatalogData:
+    def test_generated_dblp_conforms(self, small_dblp_graph, dblp):
+        assert validate(small_dblp_graph, dblp.schema) == []
+
+    def test_generated_tpch_conforms(self, small_tpch_graph, tpch):
+        assert validate(small_tpch_graph, tpch.schema) == []
+
+    def test_figure1_conforms(self, figure1_graph, tpch):
+        assert validate(figure1_graph, tpch.schema) == []

@@ -1,0 +1,156 @@
+"""Tests for the XSD importer/exporter."""
+
+import pytest
+
+from repro.schema import NodeType, SchemaGraph, UNBOUNDED
+from repro.schema.xsd import XSDError, export_xsd, parse_xsd
+from repro.xmlgraph import EdgeKind
+
+SIMPLE = """
+<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+  <xs:element name="person">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element ref="pname" maxOccurs="1"/>
+        <xs:element ref="order" maxOccurs="unbounded"/>
+      </xs:sequence>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="pname" type="xs:string"/>
+  <xs:element name="order">
+    <xs:complexType>
+      <xs:sequence>
+        <xs:element name="o_date" type="xs:string" maxOccurs="1"/>
+      </xs:sequence>
+      <xs:attribute name="buyer" type="xs:IDREF" target="person"/>
+      <xs:attribute name="items" type="xs:IDREFS" target="pname"/>
+    </xs:complexType>
+  </xs:element>
+  <xs:element name="line">
+    <xs:complexType>
+      <xs:choice>
+        <xs:element ref="pname"/>
+        <xs:element ref="o_date"/>
+      </xs:choice>
+    </xs:complexType>
+  </xs:element>
+</xs:schema>
+"""
+
+
+class TestParse:
+    @pytest.fixture(scope="class")
+    def schema(self):
+        return parse_xsd(SIMPLE)
+
+    def test_nodes(self, schema):
+        assert set(schema.node_names()) == {
+            "person", "pname", "order", "o_date", "line",
+        }
+
+    def test_choice_detection(self, schema):
+        assert schema.node("line").is_choice
+        assert not schema.node("person").is_choice
+
+    def test_maxoccurs(self, schema):
+        assert schema.find_edge("person", "pname").maxoccurs == 1
+        assert schema.find_edge("person", "order").maxoccurs == UNBOUNDED
+        # XSD default maxOccurs is 1.
+        assert schema.find_edge("line", "pname").maxoccurs == 1
+
+    def test_idref_attribute(self, schema):
+        edge = schema.find_edge("order", "person", EdgeKind.REFERENCE)
+        assert edge is not None and edge.maxoccurs == 1
+
+    def test_idrefs_attribute_unbounded(self, schema):
+        edge = schema.find_edge("order", "pname", EdgeKind.REFERENCE)
+        assert edge is not None and edge.maxoccurs == UNBOUNDED
+
+    def test_inline_child_declared(self, schema):
+        assert schema.has_node("o_date")
+
+
+class TestErrors:
+    def test_malformed(self):
+        with pytest.raises(XSDError, match="malformed"):
+            parse_xsd("<xs:schema>")
+
+    def test_wrong_root(self):
+        with pytest.raises(XSDError, match="expected"):
+            parse_xsd("<foo/>")
+
+    def test_no_declarations(self):
+        with pytest.raises(XSDError, match="no top-level"):
+            parse_xsd('<xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema"/>')
+
+    def test_untyped_idref_rejected(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:attribute name="r" type="xs:IDREF"/>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        with pytest.raises(XSDError, match="typed references"):
+            parse_xsd(text)
+
+    def test_dangling_ref(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:sequence><xs:element ref="ghost"/></xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        with pytest.raises(XSDError, match="unknown element"):
+            parse_xsd(text)
+
+    def test_bad_maxoccurs(self):
+        text = """
+        <xs:schema xmlns:xs="http://www.w3.org/2001/XMLSchema">
+          <xs:element name="a">
+            <xs:complexType>
+              <xs:sequence>
+                <xs:element name="b" maxOccurs="zero"/>
+              </xs:sequence>
+            </xs:complexType>
+          </xs:element>
+        </xs:schema>
+        """
+        with pytest.raises(XSDError, match="maxOccurs"):
+            parse_xsd(text)
+
+
+class TestRoundTrip:
+    def _assert_same(self, a: SchemaGraph, b: SchemaGraph) -> None:
+        assert set(a.node_names()) == set(b.node_names())
+        for name in a.node_names():
+            assert a.node(name).node_type is b.node(name).node_type
+        edges_a = {(e.source, e.target, e.kind, e.maxoccurs) for e in a.edges()}
+        edges_b = {(e.source, e.target, e.kind, e.maxoccurs) for e in b.edges()}
+        assert edges_a == edges_b
+
+    def test_simple_roundtrip(self):
+        schema = parse_xsd(SIMPLE)
+        self._assert_same(schema, parse_xsd(export_xsd(schema)))
+
+    def test_tpch_roundtrip(self, tpch):
+        self._assert_same(tpch.schema, parse_xsd(export_xsd(tpch.schema)))
+
+    def test_dblp_roundtrip(self, dblp):
+        self._assert_same(dblp.schema, parse_xsd(export_xsd(dblp.schema)))
+
+
+class TestXmarkRoundTrip:
+    def test_xmark_roundtrip(self):
+        from repro.schema import xmark_catalog
+
+        catalog = xmark_catalog()
+        text = export_xsd(catalog.schema)
+        again = parse_xsd(text)
+        assert set(again.node_names()) == set(catalog.schema.node_names())
+        assert again.node("auction").node_type is catalog.schema.node("auction").node_type

@@ -1,0 +1,71 @@
+"""Tests for the master inverted index."""
+
+import pytest
+
+from repro.storage import Database, MasterIndex, build_target_object_graph, tokenize
+
+
+class TestTokenize:
+    def test_lowercase_and_split(self):
+        assert tokenize("Set of VCR and DVD") == ["set", "of", "vcr", "and", "dvd"]
+
+    def test_punctuation_separates(self):
+        assert tokenize("a,b;c-d") == ["a", "b", "c", "d"]
+
+    def test_numbers_kept(self):
+        assert tokenize("key 1005") == ["key", "1005"]
+
+    def test_empty(self):
+        assert tokenize("") == []
+
+
+@pytest.fixture(scope="module")
+def index(figure1_graph, tpch):
+    db = Database()
+    to_graph = build_target_object_graph(figure1_graph, tpch.tss)
+    master = MasterIndex(db)
+    master.create()
+    master.load(figure1_graph, to_graph, tpch.text_nodes)
+    return master
+
+
+class TestContainingLists:
+    def test_vcr_list(self, index):
+        entries = index.containing_list("vcr")
+        tos = {entry.to_id for entry in entries}
+        assert tos == {"pa1", "pa2", "pr1"}
+
+    def test_entry_fields(self, index):
+        entries = index.containing_list("tv")
+        assert len(entries) == 1
+        entry = entries[0]
+        assert (entry.to_id, entry.node_id, entry.schema_node) == (
+            "pa3", "pa3n", "pa_name",
+        )
+
+    def test_case_insensitive(self, index):
+        assert index.containing_list("VCR") == index.containing_list("vcr")
+
+    def test_missing_keyword_empty(self, index):
+        assert index.containing_list("zebra") == []
+
+    def test_schema_nodes_for(self, index):
+        assert index.schema_nodes_for("vcr") == {"pa_name", "pr_descr"}
+        assert index.schema_nodes_for("john") == {"pname"}
+
+    def test_keyword_count(self, index):
+        assert index.keyword_count("vcr") == 3
+        assert index.keyword_count("zebra") == 0
+
+    def test_multiword_value_indexed_per_token(self, index):
+        assert {e.to_id for e in index.containing_list("dvd")} >= {"pr1", "sc1"}
+
+
+class TestTagIndexing:
+    def test_tags_indexed_when_enabled(self, figure1_graph, tpch):
+        db = Database()
+        to_graph = build_target_object_graph(figure1_graph, tpch.tss)
+        master = MasterIndex(db)
+        master.create()
+        master.load(figure1_graph, to_graph, tpch.text_nodes, index_tags=True)
+        assert master.keyword_count("person") >= 2

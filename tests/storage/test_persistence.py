@@ -1,0 +1,89 @@
+"""Tests for persisting and reopening loaded databases."""
+
+import pytest
+
+from repro.core import KeywordQuery, XKeyword
+from repro.decomposition import minimal_decomposition
+from repro.storage import (
+    Database,
+    has_metadata,
+    load_database,
+    load_metadata,
+    persist_metadata,
+    reopen_database,
+)
+
+
+@pytest.fixture()
+def persisted(tmp_path, figure1_graph, tpch):
+    path = str(tmp_path / "figure1.db")
+    loaded = load_database(
+        figure1_graph, tpch, [minimal_decomposition(tpch.tss)],
+        database=Database(path),
+    )
+    persist_metadata(loaded)
+    loaded.database.commit()
+    return path, loaded
+
+
+class TestPersistReopen:
+    def test_metadata_flag(self, persisted, tpch):
+        path, _ = persisted
+        assert has_metadata(Database(path))
+        assert not has_metadata(Database())
+
+    def test_target_object_graph_roundtrip(self, persisted, tpch):
+        path, loaded = persisted
+        reopened_graph = load_metadata(Database(path), tpch)
+        assert reopened_graph.tss_of_to == loaded.to_graph.tss_of_to
+        assert reopened_graph.to_of_node == loaded.to_graph.to_of_node
+        assert set(reopened_graph.pairs("Part=>Part")) == set(
+            loaded.to_graph.pairs("Part=>Part")
+        )
+
+    def test_node_paths_survive(self, persisted, tpch):
+        path, loaded = persisted
+        reopened_graph = load_metadata(Database(path), tpch)
+        assert reopened_graph.path_of(
+            "Lineitem=>Person", "l1", "p1"
+        ) == loaded.to_graph.path_of("Lineitem=>Person", "l1", "p1")
+
+    def test_reopened_database_searches(self, persisted, tpch):
+        path, loaded = persisted
+        reopened = reopen_database(
+            Database(path), tpch, [minimal_decomposition(tpch.tss)]
+        )
+        assert reopened.graph is None
+        query = KeywordQuery.of("john", "vcr", max_size=8)
+        original = XKeyword(loaded).search_all(query, parallel=False)
+        again = XKeyword(reopened).search_all(query, parallel=False)
+        assert {(m.ctssn.canonical_key, m.assignment) for m in original.mttons} == {
+            (m.ctssn.canonical_key, m.assignment) for m in again.mttons
+        }
+
+    def test_reopened_blobs_work(self, persisted, tpch):
+        path, _ = persisted
+        reopened = reopen_database(
+            Database(path), tpch, [minimal_decomposition(tpch.tss)]
+        )
+        tss, xml = reopened.blobs.fetch("pa3")
+        assert tss == "Part" and "TV" in xml
+
+    def test_statistics_rebuilt(self, persisted, tpch):
+        path, loaded = persisted
+        reopened = reopen_database(
+            Database(path), tpch, [minimal_decomposition(tpch.tss)]
+        )
+        assert reopened.statistics.tss_counts == loaded.statistics.tss_counts
+
+    def test_missing_metadata_raises(self, tpch):
+        with pytest.raises(LookupError, match="no persisted metadata"):
+            load_metadata(Database(), tpch)
+
+    def test_missing_relations_raise(self, persisted, tpch):
+        from repro.decomposition import xkeyword_decomposition
+
+        path, _ = persisted
+        other = xkeyword_decomposition(tpch.tss, 3, 1)
+        with pytest.raises(LookupError, match="not loaded"):
+            reopen_database(Database(path), tpch, [other])

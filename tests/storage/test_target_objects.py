@@ -1,0 +1,79 @@
+"""Tests for target-object assignment on the paper's Figure 1/2 graph."""
+
+import pytest
+
+from repro.storage import build_target_object_graph
+from repro.xmlgraph import XMLGraph, XMLGraphError
+
+
+@pytest.fixture(scope="module")
+def to_graph(figure1_graph, tpch):
+    return build_target_object_graph(figure1_graph, tpch.tss)
+
+
+class TestAssignment:
+    def test_target_object_count(self, to_graph):
+        # 2 persons, 2 orders, 3 lineitems, 3 parts, 1 product, 1 service call
+        assert to_graph.target_object_count == 12
+
+    def test_members_include_attributes(self, to_graph):
+        assert set(to_graph.members_of_to["p1"]) == {"p1", "p1n", "p1c"}
+        assert set(to_graph.members_of_to["pa3"]) == {"pa3", "pa3k", "pa3n"}
+
+    def test_dummy_nodes_unassigned(self, to_graph):
+        assert "su_l1" not in to_graph.to_of_node
+        assert "li_l1" not in to_graph.to_of_node
+        assert "s1" not in to_graph.to_of_node
+
+    def test_to_of_member_node(self, to_graph):
+        assert to_graph.to_of_node["pa1n"] == "pa1"
+        assert to_graph.to_of_node["o1d"] == "o1"
+
+    def test_tss_of_to(self, to_graph):
+        assert to_graph.tss_of_to["p1"] == "Person"
+        assert to_graph.tss_of_to["pr1"] == "Product"
+
+    def test_orphan_member_raises(self, tpch):
+        g = XMLGraph()
+        g.add_node("stray", "pname", "Bob")  # pname with no person parent
+        with pytest.raises(XMLGraphError, match="intra-TSS"):
+            build_target_object_graph(g, tpch.tss)
+
+
+class TestEdgeInstances:
+    def test_subpart_edges_match_figure2(self, to_graph):
+        pairs = set(to_graph.pairs("Part=>Part"))
+        assert pairs == {("pa3", "pa1"), ("pa3", "pa2")}
+
+    def test_supplier_reference_edges(self, to_graph):
+        """John supplies all three lineitems (Figures 1 and 2)."""
+        pairs = set(to_graph.pairs("Lineitem=>Person"))
+        assert pairs == {("l1", "p1"), ("l2", "p1"), ("l3", "p1")}
+
+    def test_line_choice_edges(self, to_graph):
+        """Both Figure 2 lineitems share the TV part via references."""
+        assert set(to_graph.pairs("Lineitem=>Part")) == {("l1", "pa3"), ("l2", "pa3")}
+        assert set(to_graph.pairs("Lineitem=>Product")) == {("l3", "pr1")}
+
+    def test_service_call_reference(self, to_graph):
+        assert set(to_graph.pairs("Service_call=>Product")) == {("sc1", "pr1")}
+
+    def test_node_paths_recorded(self, to_graph):
+        path = to_graph.path_of("Lineitem=>Person", "l1", "p1")
+        assert path == ("l1", "su_l1", "p1")
+        path = to_graph.path_of("Part=>Part", "pa3", "pa1")
+        assert path == ("pa3", "s1", "pa1")
+
+    def test_adjacency_queries(self, to_graph):
+        assert set(to_graph.targets("Part=>Part", "pa3")) == {"pa1", "pa2"}
+        assert to_graph.sources("Part=>Part", "pa1") == ["pa3"]
+        assert to_graph.targets("Part=>Part", "pa1") == []
+
+    def test_instance_count(self, to_graph):
+        assert to_graph.instance_count == sum(
+            len(v) for v in to_graph.instances.values()
+        )
+
+    def test_target_objects_by_tss(self, to_graph):
+        assert sorted(to_graph.target_objects("Part")) == ["pa1", "pa2", "pa3"]
+        assert len(to_graph.target_objects()) == 12

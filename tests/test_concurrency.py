@@ -1,0 +1,60 @@
+"""Thread-safety stress tests for the engine and storage layers."""
+
+import threading
+
+import pytest
+
+from repro.core import KeywordQuery, XKeyword
+
+
+class TestConcurrentSearches:
+    def test_parallel_topk_consistent(self, small_dblp_db):
+        """The thread-pool top-k must produce valid, deduplicated
+        results under repeated runs."""
+        engine = XKeyword(small_dblp_db, threads=4)
+        query = KeywordQuery.of("smith", "balmin", max_size=6)
+        baseline = {
+            (m.ctssn.canonical_key, m.assignment)
+            for m in engine.search_all(query, parallel=False).mttons
+        }
+        for _ in range(5):
+            parallel = engine.search_all(query, parallel=True)
+            got = {
+                (m.ctssn.canonical_key, m.assignment) for m in parallel.mttons
+            }
+            assert got == baseline
+
+    def test_concurrent_engines_share_database(self, small_dblp_db):
+        """Many threads querying one LoadedDatabase simultaneously."""
+        engine = XKeyword(small_dblp_db)
+        query = KeywordQuery.of("smith", "balmin", max_size=5)
+        expected = {
+            m.assignment for m in engine.search_all(query, parallel=False).mttons
+        }
+        failures: list[str] = []
+
+        def worker() -> None:
+            local = XKeyword(small_dblp_db)
+            got = {
+                m.assignment
+                for m in local.search_all(query, parallel=False).mttons
+            }
+            if got != expected:
+                failures.append(f"{len(got)} != {len(expected)}")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+
+    def test_topk_cutoff_under_parallelism(self, small_dblp_db):
+        engine = XKeyword(small_dblp_db, threads=4)
+        query = KeywordQuery.of("smith", "balmin", max_size=6)
+        for k in (1, 3, 7):
+            result = engine.search(query, k=k, parallel=True)
+            assert len(result.mttons) <= k
+            # Results are always presented in ranking order, whatever
+            # order the threads produced them in.
+            assert result.scores() == sorted(result.scores())

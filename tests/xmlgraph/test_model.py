@@ -1,0 +1,147 @@
+"""Unit tests for the XML graph data model."""
+
+import pytest
+
+from repro.xmlgraph import EdgeKind, XMLGraph, XMLGraphError
+
+
+@pytest.fixture
+def tiny():
+    g = XMLGraph()
+    g.add_node("a", "book")
+    g.add_node("b", "title", "databases")
+    g.add_node("c", "author")
+    g.add_edge("a", "b")
+    g.add_edge("a", "c")
+    return g
+
+
+class TestNodes:
+    def test_add_and_get(self, tiny):
+        assert tiny.node("b").value == "databases"
+        assert tiny.node("a").label == "book"
+
+    def test_duplicate_id_rejected(self, tiny):
+        with pytest.raises(XMLGraphError, match="duplicate node id"):
+            tiny.add_node("a", "other")
+
+    def test_unknown_node_raises(self, tiny):
+        with pytest.raises(XMLGraphError, match="unknown node id"):
+            tiny.node("zzz")
+
+    def test_contains_and_len(self, tiny):
+        assert "a" in tiny
+        assert "zzz" not in tiny
+        assert len(tiny) == 3
+
+    def test_node_str_with_and_without_value(self, tiny):
+        assert "databases" in str(tiny.node("b"))
+        assert str(tiny.node("a")) == "book#a"
+
+
+class TestEdges:
+    def test_counts(self, tiny):
+        assert tiny.edge_count == 2
+        assert tiny.node_count == 3
+
+    def test_unknown_endpoints_rejected(self, tiny):
+        with pytest.raises(XMLGraphError, match="unknown source"):
+            tiny.add_edge("zzz", "a")
+        with pytest.raises(XMLGraphError, match="unknown target"):
+            tiny.add_edge("a", "zzz")
+
+    def test_duplicate_edge_rejected(self, tiny):
+        with pytest.raises(XMLGraphError, match="duplicate edge"):
+            tiny.add_edge("a", "b")
+
+    def test_single_containment_parent_enforced(self, tiny):
+        tiny.add_node("d", "chapter")
+        tiny.add_edge("d", "b", EdgeKind.REFERENCE)  # references are fine
+        with pytest.raises(XMLGraphError, match="containment parent"):
+            tiny.add_edge("d", "b")
+
+    def test_reference_edge_does_not_make_parent(self, tiny):
+        tiny.add_node("d", "cite")
+        tiny.add_edge("d", "a", EdgeKind.REFERENCE)
+        assert tiny.containment_parent("a") is None
+
+    def test_has_edge_kind_filter(self, tiny):
+        assert tiny.has_edge("a", "b")
+        assert tiny.has_edge("a", "b", EdgeKind.CONTAINMENT)
+        assert not tiny.has_edge("a", "b", EdgeKind.REFERENCE)
+
+
+class TestStructure:
+    def test_roots_single(self, tiny):
+        assert [r.node_id for r in tiny.roots()] == ["a"]
+
+    def test_multiple_roots(self):
+        g = XMLGraph()
+        g.add_node("x", "doc")
+        g.add_node("y", "doc")
+        g.add_node("z", "ref")
+        g.add_edge("z", "x", EdgeKind.REFERENCE)
+        roots = {r.node_id for r in g.roots()}
+        assert roots == {"x", "y", "z"}
+
+    def test_containment_children(self, tiny):
+        children = {c.node_id for c in tiny.containment_children("a")}
+        assert children == {"b", "c"}
+
+    def test_containment_parent(self, tiny):
+        assert tiny.containment_parent("b").node_id == "a"
+
+    def test_containment_subtree(self, tiny):
+        subtree = {n.node_id for n in tiny.containment_subtree("a")}
+        assert subtree == {"a", "b", "c"}
+
+    def test_neighbors_cross_both_directions(self, tiny):
+        neighbors = {n.node_id for n, _ in tiny.neighbors("b")}
+        assert neighbors == {"a"}
+        neighbors = {n.node_id for n, _ in tiny.neighbors("a")}
+        assert neighbors == {"b", "c"}
+
+
+class TestDistanceAndCycles:
+    def test_distance_zero(self, tiny):
+        assert tiny.undirected_distance("a", "a") == 0
+
+    def test_distance_through_parent(self, tiny):
+        assert tiny.undirected_distance("b", "c") == 2
+
+    def test_distance_disconnected(self):
+        g = XMLGraph()
+        g.add_node("x", "a")
+        g.add_node("y", "b")
+        assert g.undirected_distance("x", "y") is None
+
+    def test_uncycled_tree(self, tiny):
+        assert tiny.is_uncycled()
+
+    def test_cycle_detected(self, tiny):
+        tiny2 = XMLGraph()
+        tiny2.add_node("a", "x")
+        tiny2.add_node("b", "y")
+        tiny2.add_node("c", "z")
+        tiny2.add_edge("a", "b")
+        tiny2.add_edge("b", "c")
+        tiny2.add_edge("c", "a", EdgeKind.REFERENCE)
+        assert not tiny2.is_uncycled()
+
+    def test_uncycled_subset(self):
+        g = XMLGraph()
+        for n in "abc":
+            g.add_node(n, "t")
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("c", "a", EdgeKind.REFERENCE)
+        assert g.is_uncycled({"a", "b"})
+        assert not g.is_uncycled({"a", "b", "c"})
+
+    def test_parallel_edges_collapse_in_undirected_view(self):
+        g = XMLGraph()
+        g.add_node("a", "x")
+        g.add_node("b", "y")
+        g.add_edge("a", "b")
+        g.add_edge("a", "b", EdgeKind.REFERENCE)
+        assert g.is_uncycled()

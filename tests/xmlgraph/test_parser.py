@@ -1,0 +1,92 @@
+"""Unit tests for XML parsing into graphs."""
+
+import pytest
+
+from repro.xmlgraph import EdgeKind, ParseOptions, XMLGraphError, parse_xml
+
+
+class TestBasicParsing:
+    def test_simple_document(self):
+        g = parse_xml("<book id='b1'><title>databases</title></book>")
+        assert g.node("b1").label == "book"
+        title = g.containment_children("b1")[0]
+        assert title.label == "title"
+        assert title.value == "databases"
+
+    def test_invented_ids_are_unique(self):
+        g = parse_xml("<a><b/><b/><b/></a>")
+        assert g.node_count == 4
+        assert len({n.node_id for n in g.nodes()}) == 4
+
+    def test_explicit_id_used(self):
+        g = parse_xml("<a id='root'><b id='child'/></a>")
+        assert g.has_node("root")
+        assert g.containment_parent("child").node_id == "root"
+
+    def test_text_with_children_kept_as_value(self):
+        g = parse_xml("<a id='x'>hello<b/></a>")
+        assert g.node("x").value == "hello"
+
+    def test_whitespace_only_text_ignored(self):
+        g = parse_xml("<a id='x'>  \n  <b/></a>")
+        assert g.node("x").value is None
+
+    def test_malformed_document_raises(self):
+        with pytest.raises(XMLGraphError, match="malformed"):
+            parse_xml("<a><b></a>")
+
+    def test_namespace_prefix_stripped(self):
+        g = parse_xml("<x:a xmlns:x='urn:test' id='r'/>")
+        assert g.node("r").label == "a"
+
+
+class TestReferences:
+    def test_ref_attribute_becomes_reference_edge(self):
+        g = parse_xml("<a id='x'><b id='y' ref='x'/></a>")
+        assert g.has_edge("y", "x", EdgeKind.REFERENCE)
+
+    def test_idrefs_split_on_whitespace(self):
+        g = parse_xml("<a id='x'><b id='y'/><c id='z' ref='x y'/></a>")
+        assert g.has_edge("z", "x", EdgeKind.REFERENCE)
+        assert g.has_edge("z", "y", EdgeKind.REFERENCE)
+
+    def test_dangling_reference_raises(self):
+        with pytest.raises(XMLGraphError, match="dangling reference"):
+            parse_xml("<a id='x' ref='nope'/>")
+
+    def test_duplicate_reference_collapses(self):
+        g = parse_xml("<a id='x'><b id='y' ref='x' idref='x'/></a>")
+        refs = [e for e in g.out_edges("y") if e.is_reference]
+        assert len(refs) == 1
+
+    def test_cross_document_reference(self):
+        g = parse_xml(
+            ["<a id='x'/>", "<b id='y' href='x'/>"],
+        )
+        assert g.has_edge("y", "x", EdgeKind.REFERENCE)
+        assert len(g.roots()) == 2
+
+
+class TestOptions:
+    def test_drop_root(self):
+        g = parse_xml(
+            "<root><a id='x'/><a id='y'/></root>",
+            ParseOptions(drop_root=True),
+        )
+        assert not any(n.label == "root" for n in g.nodes())
+        assert {r.node_id for r in g.roots()} == {"x", "y"}
+
+    def test_custom_id_attribute(self):
+        g = parse_xml("<a key='k1'/>", ParseOptions(id_attr="key"))
+        assert g.has_node("k1")
+
+    def test_custom_ref_attributes(self):
+        g = parse_xml(
+            "<a id='x'><b id='y' cites='x'/></a>",
+            ParseOptions(ref_attrs=("cites",)),
+        )
+        assert g.has_edge("y", "x", EdgeKind.REFERENCE)
+
+    def test_id_prefix(self):
+        g = parse_xml("<a/>", ParseOptions(id_prefix="node"))
+        assert any(n.node_id.startswith("node") for n in g.nodes())

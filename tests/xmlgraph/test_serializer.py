@@ -1,0 +1,59 @@
+"""Unit tests for XML serialization, including parse round-trips."""
+
+from repro.xmlgraph import EdgeKind, XMLGraph, parse_xml, serialize_graph, serialize_subtree
+
+
+def build():
+    g = XMLGraph()
+    g.add_node("b1", "book")
+    g.add_node("t1", "title", "data & xml")
+    g.add_node("a1", "author", "smith")
+    g.add_edge("b1", "t1")
+    g.add_edge("b1", "a1")
+    return g
+
+
+class TestSubtree:
+    def test_contains_values_escaped(self):
+        text = serialize_subtree(build(), "b1")
+        assert "data &amp; xml" in text
+        assert "<book" in text
+
+    def test_include_filter_cuts_children(self):
+        g = build()
+        text = serialize_subtree(g, "b1", include={"b1", "t1"})
+        assert "title" in text
+        assert "author" not in text
+
+    def test_leaf_without_value_selfcloses(self):
+        g = XMLGraph()
+        g.add_node("e", "empty")
+        assert serialize_subtree(g, "e").strip() == '<empty id="e"/>'
+
+    def test_reference_edges_become_ref_attribute(self):
+        g = build()
+        g.add_node("c1", "cite")
+        g.add_edge("b1", "c1")
+        g.add_edge("c1", "a1", EdgeKind.REFERENCE)
+        text = serialize_subtree(g, "b1")
+        assert 'ref="a1"' in text
+
+
+class TestRoundTrip:
+    def test_serialize_then_parse_preserves_structure(self):
+        g = build()
+        text = serialize_graph(g)
+        parsed = parse_xml(text)
+        # The wrapper root adds one node.
+        assert parsed.node_count == g.node_count + 1
+        assert parsed.node("t1").value == "data & xml"
+        assert parsed.containment_parent("t1").node_id == "b1"
+
+    def test_multi_root_graph_wrapped(self):
+        g = XMLGraph()
+        g.add_node("x", "doc", "one")
+        g.add_node("y", "doc", "two")
+        text = serialize_graph(g, root_tag="bundle")
+        parsed = parse_xml(text)
+        assert parsed.node("x").value == "one"
+        assert parsed.node("y").value == "two"
