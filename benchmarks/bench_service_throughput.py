@@ -1,0 +1,107 @@
+"""Service throughput: requests/sec with the cross-query cache cold vs warm.
+
+The ISSUE's serving layer adds a cache one level above the paper's
+Figure 16(a) partial-result cache: whole materialized results, shared
+across requests.  This benchmark quantifies that layer the same way the
+Figure 16(a) bench quantifies the per-query one — identical request
+streams, cache disabled-equivalent (cold: invalidated before every
+request) versus warm (every request after the first hits).
+
+Two variants run per mode:
+
+* ``inprocess`` — ``QueryService.search`` called directly, isolating the
+  service stack (admission + cache + engine) from socket costs;
+* ``http`` — full round trips through the threaded HTTP server on a
+  loopback ephemeral port, what a client actually observes.
+
+Run:  pytest benchmarks/bench_service_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+import common
+from repro.service import QueryService, ServiceConfig, XKeywordHTTPServer
+
+KEYWORD_QUERIES = None  # resolved lazily from the shared bench database
+
+
+def _queries() -> list[list[str]]:
+    global KEYWORD_QUERIES
+    if KEYWORD_QUERIES is None:
+        KEYWORD_QUERIES = [list(q.keywords) for q in common.bench_queries(max_size=6)]
+    return KEYWORD_QUERIES
+
+
+@pytest.fixture(scope="module")
+def service():
+    service = QueryService(
+        common.bench_database(),
+        ServiceConfig(workers=4, queue_size=64, cache_ttl=None),
+    )
+    yield service
+    service.close()
+
+
+@pytest.fixture(scope="module")
+def http_base(service):
+    server = XKeywordHTTPServer(("127.0.0.1", 0), service)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def run_inprocess(service: QueryService, cold: bool) -> int:
+    served = 0
+    for keywords in _queries():
+        if cold:
+            service.cache.invalidate()
+        payload = service.search(keywords, k=10, max_size=6)
+        if cold:
+            assert not payload["cached"]
+        served += 1
+    return served
+
+
+def run_http(service: QueryService, base: str, cold: bool) -> int:
+    served = 0
+    for keywords in _queries():
+        if cold:
+            service.cache.invalidate()
+        request = urllib.request.Request(
+            f"{base}/search",
+            data=json.dumps({"keywords": keywords, "k": 10, "max_size": 6}).encode(),
+            headers={"Content-Type": "application/json"},
+        )
+        with urllib.request.urlopen(request, timeout=60.0) as response:
+            assert response.status == 200
+        served += 1
+    return served
+
+
+@pytest.mark.parametrize("cold", (True, False), ids=("cold", "warm"))
+def test_inprocess_throughput(benchmark, service, cold):
+    benchmark.group = "service-inprocess"
+    benchmark.name = "cache cold" if cold else "cache warm"
+    if not cold:
+        run_inprocess(service, cold=True)  # populate before timing
+    served = benchmark(run_inprocess, service, cold)
+    assert served == len(_queries())
+
+
+@pytest.mark.parametrize("cold", (True, False), ids=("cold", "warm"))
+def test_http_throughput(benchmark, service, http_base, cold):
+    benchmark.group = "service-http"
+    benchmark.name = "cache cold" if cold else "cache warm"
+    if not cold:
+        run_http(service, http_base, cold=True)
+    served = benchmark(run_http, service, http_base, cold)
+    assert served == len(_queries())

@@ -6,11 +6,14 @@ Usage::
     python -m repro search --catalog dblp --xml dblp.xml "smith chen" -k 10
     python -m repro search --catalog dblp --demo "smith" -k 5
     python -m repro explain --catalog dblp --demo "smith chen"
+    python -m repro serve --catalog dblp --demo --port 8080
 
 ``search`` loads the XML into an in-memory SQLite database (the load
 stage), runs the keyword query, and prints ranked MTTONs with their
 semantically annotated connections.  ``explain`` stops after planning
 and prints the candidate networks and execution plans instead.
+``serve`` loads once and answers queries over HTTP/JSON until
+interrupted (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -82,6 +85,41 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="semicolon-separated commands, e.g. "
                 "'expand 1; dot; contract 1 p11; quit'",
             )
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived HTTP/JSON query service"
+    )
+    serve.add_argument("--catalog", choices=("dblp", "tpch", "xmark"), default="dblp")
+    source = serve.add_mutually_exclusive_group(required=True)
+    source.add_argument("--xml", help="XML document to load")
+    source.add_argument(
+        "--demo", action="store_true", help="use built-in synthetic data"
+    )
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument(
+        "--decomposition",
+        choices=("minimal", "xkeyword", "combined"),
+        default="minimal",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 picks a free port")
+    serve.add_argument("--workers", type=int, default=4, help="query worker threads")
+    serve.add_argument(
+        "--queue-size", type=int, default=16, dest="queue_size",
+        help="waiting requests beyond the workers before shedding (503)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=30.0,
+        help="per-request deadline in seconds (0 disables)",
+    )
+    serve.add_argument(
+        "--cache-entries", type=int, default=256, dest="cache_entries",
+        help="cross-query result-cache capacity",
+    )
+    serve.add_argument(
+        "--cache-ttl", type=float, default=300.0, dest="cache_ttl",
+        help="result-cache freshness in seconds (0 disables expiry)",
+    )
     return parser
 
 
@@ -249,6 +287,28 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import ServiceConfig, serve
+
+    catalog, loaded = _load(args)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_size=args.queue_size,
+        deadline=args.deadline or None,
+        cache_capacity=args.cache_entries,
+        cache_ttl=args.cache_ttl or None,
+    )
+    print(
+        f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "
+        f"objects, fingerprint {loaded.fingerprint()[:12]}",
+        file=sys.stderr,
+    )
+    serve(loaded, config)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -256,6 +316,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "search": _cmd_search,
         "explain": _cmd_explain,
         "navigate": _cmd_navigate,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

@@ -8,10 +8,11 @@ from .ctssn import (
     max_ctssn_size,
     reduce_to_ctssn,
 )
-from .engine import SearchResult, XKeyword
+from .engine import SearchHooks, SearchResult, XKeyword
 from .execution import (
     CTSSNExecutor,
     ExecutionMetrics,
+    ExecutionObserver,
     ExecutorConfig,
     ResultCache,
     ResultRow,
@@ -31,6 +32,7 @@ __all__ = [
     "CandidateNetwork",
     "ContainingLists",
     "ExecutionMetrics",
+    "ExecutionObserver",
     "ExecutionPlan",
     "ExecutorConfig",
     "KeywordQuery",
@@ -46,6 +48,7 @@ __all__ = [
     "ReductionError",
     "ResultCache",
     "ResultRow",
+    "SearchHooks",
     "SearchResult",
     "WitnessConstraint",
     "XKeyword",

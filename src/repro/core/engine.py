@@ -11,8 +11,10 @@ global result budget of K.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..storage.decomposer import LoadedDatabase
 from .cn_generator import CandidateNetwork, CNGenerator
@@ -20,6 +22,7 @@ from .ctssn import CTSSN, reduce_to_ctssn
 from .execution import (
     CTSSNExecutor,
     ExecutionMetrics,
+    ExecutionObserver,
     ExecutorConfig,
     ResultCache,
 )
@@ -55,9 +58,12 @@ class SearchResult:
         start = (number - 1) * per_page
         return self.mttons[start:start + per_page]
 
-    @property
-    def page_count(self) -> int:
-        return 0 if not self.mttons else -(-len(self.mttons) // 10)
+    def page_count(self, per_page: int = 10) -> int:
+        """Number of pages at the given page size (matches ``page``'s
+        ``per_page`` argument, which a previous revision ignored)."""
+        if per_page < 1:
+            raise ValueError("per_page must be positive")
+        return -(-len(self.mttons) // per_page)
 
     def grouped_by_candidate_network(self) -> dict[str, list[MTTON]]:
         """Results grouped per CN, the unit the presentation graphs use."""
@@ -65,6 +71,26 @@ class SearchResult:
         for mtton in self.mttons:
             groups.setdefault(mtton.ctssn.canonical_key, []).append(mtton)
         return groups
+
+
+@dataclass
+class SearchHooks:
+    """Lightweight engine instrumentation (the service layer's probe).
+
+    Every field is optional; unset hooks cost one ``None`` check.  The
+    engine never depends on what the callbacks do — they must not raise
+    and must be thread-safe (``observer`` is shared by the per-CN
+    thread pool).
+    """
+
+    on_search_start: Callable[[KeywordQuery], None] | None = None
+    """Called when a search begins, before containing-list retrieval."""
+
+    on_search_complete: Callable[[KeywordQuery, "SearchResult", float], None] | None = None
+    """Called with the finished result and wall-clock seconds elapsed."""
+
+    observer: ExecutionObserver | None = None
+    """Passed to every executor; sees per-lookup and per-CN completion."""
 
 
 class XKeyword:
@@ -76,6 +102,7 @@ class XKeyword:
         store_priority: list[str] | None = None,
         executor_config: ExecutorConfig | None = None,
         threads: int = 4,
+        hooks: SearchHooks | None = None,
     ) -> None:
         """
         Args:
@@ -85,12 +112,14 @@ class XKeyword:
                 relations from earlier stores.
             executor_config: Default execution switches.
             threads: Thread-pool width for top-k search.
+            hooks: Optional instrumentation callbacks.
         """
         self.loaded = loaded
         names = store_priority or list(loaded.stores)
         self.stores = {name: loaded.store(name) for name in names}
         self.executor_config = executor_config or ExecutorConfig()
         self.threads = max(1, threads)
+        self.hooks = hooks or SearchHooks()
         self.optimizer = Optimizer(self.stores, loaded.statistics)
 
     # ------------------------------------------------------------------
@@ -186,6 +215,7 @@ class XKeyword:
                 containing,
                 config=config,
                 lookup_cache=lookup_cache,
+                observer=self.hooks.observer,
             )
             for row in executor.run():
                 yield materialize(ctssn, row, self.loaded.to_graph)
@@ -205,11 +235,14 @@ class XKeyword:
     ) -> SearchResult:
         query = self._coerce(query)
         config = config or self.executor_config
+        if self.hooks.on_search_start is not None:
+            self.hooks.on_search_start(query)
+        started = time.perf_counter()
         containing = self.containing_lists(query)
         metrics = ExecutionMetrics()
         result = SearchResult(query, [], metrics)
         if any(not containing.keyword_tos[k] for k in query.keywords):
-            return result
+            return self._finish(query, result, started)
         result.candidate_networks = self.candidate_networks(query, containing)
         result.ctssns = [
             reduce_to_ctssn(cn, self.loaded.catalog.tss)
@@ -253,6 +286,7 @@ class XKeyword:
                 config=config,
                 metrics=local_metrics,
                 lookup_cache=lookup_cache,
+                observer=self.hooks.observer,
             )
             for row in executor.run(limit=limit):
                 mtton = materialize(ctssn, row, self.loaded.to_graph)
@@ -278,4 +312,13 @@ class XKeyword:
         if limit is not None:
             collected = collected[:limit]
         result.mttons = collected
+        return self._finish(query, result, started)
+
+    def _finish(
+        self, query: KeywordQuery, result: SearchResult, started: float
+    ) -> SearchResult:
+        if self.hooks.on_search_complete is not None:
+            self.hooks.on_search_complete(
+                query, result, time.perf_counter() - started
+            )
         return result

@@ -25,6 +25,7 @@ bind distinct target objects (an MTTON is a *set* of target objects).
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Iterator
@@ -61,6 +62,11 @@ class ResultCache:
     XKeyword "uses a fixed size cache for each keyword query to store
     past results and if the cache gets full, the queries are re-sent to
     the DBMS" — eviction here plays that role.
+
+    Instances are shared across the engine's per-CN thread pool (and,
+    under the query service, across concurrent requests), so every
+    operation holds a lock; ``OrderedDict`` reordering is not atomic
+    under free threading.
     """
 
     def __init__(self, capacity: int = 50_000) -> None:
@@ -68,21 +74,40 @@ class ResultCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self._entries: OrderedDict[tuple, list[ResultRow]] = OrderedDict()
+        self._lock = threading.Lock()
 
     def get(self, key: tuple) -> list[ResultRow] | None:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def put(self, key: tuple, value: list[ResultRow]) -> None:
-        self._entries[key] = value
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
+
+
+class ExecutionObserver:
+    """No-op hook points the service layer's instrumentation overrides.
+
+    The executor calls these from its hot path, so implementations must
+    be cheap and must not raise; every method defaults to a no-op so
+    subclasses override only what they meter.
+    """
+
+    def on_query(self, relation_name: str, rows: int, cached: bool) -> None:
+        """One focused lookup: served from the shared cache or the DBMS."""
+
+    def on_run_complete(self, metrics: ExecutionMetrics) -> None:
+        """One CTSSN evaluation finished (or its consumer stopped early)."""
 
 
 class _SqlAccess:
@@ -99,11 +124,13 @@ class _SqlAccess:
         step: PlanStep,
         metrics: ExecutionMetrics,
         lookup_cache: "ResultCache | None" = None,
+        observer: "ExecutionObserver | None" = None,
     ):
         self._store = store
         self._fragment = step.piece.fragment
         self._metrics = metrics
         self._lookup_cache = lookup_cache
+        self._observer = observer
 
     def lookup(self, bindings: dict[str, str]) -> list[tuple[str, ...]]:
         key = None
@@ -112,12 +139,18 @@ class _SqlAccess:
             cached = self._lookup_cache.get(key)
             if cached is not None:
                 self._metrics.cache_hits += 1
+                if self._observer is not None:
+                    self._observer.on_query(
+                        self._fragment.relation_name, len(cached), True
+                    )
                 return cached  # type: ignore[return-value]
         self._metrics.queries_sent += 1
         rows = self._store.lookup(self._fragment, bindings)
         self._metrics.rows_fetched += len(rows)
         if key is not None:
             self._lookup_cache.put(key, rows)  # type: ignore[arg-type]
+        if self._observer is not None:
+            self._observer.on_query(self._fragment.relation_name, len(rows), False)
         return rows
 
 
@@ -181,11 +214,13 @@ class CTSSNExecutor:
         cache: ResultCache | None = None,
         metrics: ExecutionMetrics | None = None,
         lookup_cache: ResultCache | None = None,
+        observer: ExecutionObserver | None = None,
     ) -> None:
         self.plan = plan
         self.config = config or ExecutorConfig()
         self.metrics = metrics or ExecutionMetrics()
         self.containing = containing
+        self.observer = observer
         self.cache = cache or ResultCache(self.config.cache_capacity)
         # The suffix cache may be shared across executors; namespace the
         # keys by this plan's identity.
@@ -202,6 +237,7 @@ class CTSSNExecutor:
                     step,
                     self.metrics,
                     lookup_cache if self.config.share_lookups else None,
+                    observer,
                 )
                 for step in plan.steps
             ]
@@ -228,6 +264,18 @@ class CTSSNExecutor:
                 explored first, which makes the first result reuse as much
                 of the presentation graph as possible.
         """
+        try:
+            yield from self._run(limit, fixed_bindings, prefer)
+        finally:
+            if self.observer is not None:
+                self.observer.on_run_complete(self.metrics)
+
+    def _run(
+        self,
+        limit: int | None,
+        fixed_bindings: ResultRow | None,
+        prefer: dict[int, set[str]] | None,
+    ) -> Iterator[ResultRow]:
         plan = self.plan
         network = plan.ctssn.network
         fixed = dict(fixed_bindings or {})

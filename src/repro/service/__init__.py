@@ -1,0 +1,41 @@
+"""The serving layer: cache, admission control, metrics, HTTP front end.
+
+Turns the in-process :class:`~repro.core.XKeyword` engine into a
+long-lived query service (``python -m repro serve``).  See
+:mod:`repro.service.server` for the architecture overview.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionStats,
+    DeadlineExceededError,
+    RejectedError,
+)
+from .cache import CacheStats, QueryCache, query_cache_key
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .server import (
+    QueryService,
+    ServiceConfig,
+    XKeywordHTTPServer,
+    create_server,
+    serve,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionStats",
+    "CacheStats",
+    "Counter",
+    "DeadlineExceededError",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryCache",
+    "QueryService",
+    "RejectedError",
+    "ServiceConfig",
+    "XKeywordHTTPServer",
+    "create_server",
+    "query_cache_key",
+    "serve",
+]

@@ -1,0 +1,193 @@
+"""Admission control: bounded concurrency with deadlines and shedding.
+
+A long-lived query service must bound how much work it accepts — an
+unbounded thread-per-request model collapses under burst load (every
+request slows every other, and all of them time out together).  This
+module implements the classic antidote:
+
+* a fixed pool of worker threads executes requests (bounding CPU/DB
+  concurrency independently of socket concurrency);
+* a *bounded* queue holds admitted-but-not-yet-running requests;
+* when the queue is full the request is **shed immediately**
+  (:class:`RejectedError` → HTTP 503 + ``Retry-After``) instead of
+  queuing unboundedly — fail fast so the client can back off or retry
+  against another replica;
+* every request carries a **deadline**; requests that exceed it while
+  queued are never started (their cost is the dequeue), and callers stop
+  waiting for overdue results (:class:`DeadlineExceededError` →
+  HTTP 504).
+
+The controller is engine-agnostic: it runs any zero-argument callable.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+
+
+class RejectedError(RuntimeError):
+    """The request queue is full; the caller should retry later."""
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class DeadlineExceededError(TimeoutError):
+    """The request's deadline elapsed before a result was produced."""
+
+
+@dataclass
+class AdmissionStats:
+    """Cumulative outcome counters (read by the metrics endpoint)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    expired: int = 0
+
+
+class _Job:
+    __slots__ = ("fn", "deadline", "done", "result", "error", "enqueued_at")
+
+    def __init__(self, fn, deadline: float | None) -> None:
+        self.fn = fn
+        self.deadline = deadline
+        self.done = threading.Event()
+        self.result = None
+        self.error: BaseException | None = None
+        self.enqueued_at = time.monotonic()
+
+
+class AdmissionController:
+    """A bounded worker pool with load shedding and per-request deadlines.
+
+    Args:
+        workers: Worker-thread count (concurrent requests actually
+            executing).
+        queue_size: Admitted-but-waiting requests beyond the workers;
+            0 means a request is shed unless a worker is free soon.
+        default_deadline: Seconds granted to requests that specify none;
+            ``None`` means wait indefinitely.
+    """
+
+    def __init__(
+        self,
+        workers: int = 4,
+        queue_size: int = 16,
+        default_deadline: float | None = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        if queue_size < 0:
+            raise ValueError("queue_size must be non-negative")
+        self.workers = workers
+        self.queue_size = queue_size
+        self.default_deadline = default_deadline
+        # Workers block on get(); the bound applies to *waiting* jobs, so
+        # total admitted = queue_size + workers currently executing.
+        self._queue: queue.Queue[_Job | None] = queue.Queue(maxsize=queue_size + workers)
+        self._stats = AdmissionStats()
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._worker, name=f"repro-worker-{i}", daemon=True)
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    def run(self, fn, deadline: float | None = None):
+        """Execute ``fn()`` on the pool and return its result.
+
+        Raises:
+            RejectedError: The queue is full (shed; retry later).
+            DeadlineExceededError: The deadline elapsed first.
+        """
+        if self._closed:
+            raise RejectedError("service is shutting down", retry_after=5.0)
+        timeout = deadline if deadline is not None else self.default_deadline
+        absolute = time.monotonic() + timeout if timeout is not None else None
+        job = _Job(fn, absolute)
+        try:
+            self._queue.put_nowait(job)
+        except queue.Full:
+            with self._lock:
+                self._stats.shed += 1
+            raise RejectedError(
+                f"request queue full ({self.queue_size} waiting)",
+                retry_after=max(0.1, (timeout or 1.0) / 10.0),
+            ) from None
+        with self._lock:
+            self._stats.submitted += 1
+        remaining = None if absolute is None else max(0.0, absolute - time.monotonic())
+        if not job.done.wait(timeout=remaining):
+            # The worker may still pick the job up; flagging the deadline
+            # as passed makes it drop the job cheaply instead.
+            raise DeadlineExceededError(
+                f"deadline of {timeout:.3f}s exceeded before completion"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:  # shutdown sentinel
+                return
+            if job.deadline is not None and time.monotonic() >= job.deadline:
+                with self._lock:
+                    self._stats.expired += 1
+                job.error = DeadlineExceededError("expired while queued")
+                job.done.set()
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                job.result = job.fn()
+                with self._lock:
+                    self._stats.completed += 1
+            except BaseException as exc:  # propagated to the caller
+                job.error = exc
+                with self._lock:
+                    self._stats.failed += 1
+            finally:
+                with self._lock:
+                    self._in_flight -= 1
+                job.done.set()
+
+    # ------------------------------------------------------------------
+    def queue_depth(self) -> int:
+        """Jobs admitted but not yet finished dequeuing (approximate)."""
+        return self._queue.qsize()
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    def stats(self) -> AdmissionStats:
+        with self._lock:
+            return AdmissionStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                shed=self._stats.shed,
+                expired=self._stats.expired,
+            )
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._closed = True
+        for _ in self._threads:
+            self._queue.put(None)
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=5.0)

@@ -1,0 +1,164 @@
+"""Cross-query result caching for the query service.
+
+One level above the paper's per-query partial-result cache: where
+``ResultCache`` (core/execution.py) memoizes *suffix* results inside one
+keyword query — the Figure 16(a) lever — this cache stores whole
+materialized :class:`~repro.core.SearchResult`s across queries, so a
+repeated query (the common case behind a web search box) skips the
+entire pipeline: no containing-list retrieval, no CN generation, no
+planning, no execution.
+
+Keys are ``(database fingerprint, frozen keyword bag, k, max_size,
+mode)``: the fingerprint (storage/fingerprint.py) ties an entry to the
+exact loaded content, so swapping or reloading the database can never
+serve stale trees — the service calls :meth:`QueryCache.invalidate` on
+reload, and even a missed invalidation is safe because the new
+fingerprint simply misses.  The keyword *bag* is order-insensitive
+(keyword order is irrelevant to query semantics), so ``"smith chen"``
+and ``"chen smith"`` share an entry.
+
+Entries expire after a TTL and are evicted LRU beyond a capacity, both
+tunable.  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.engine import SearchResult
+from ..core.query import KeywordQuery
+
+CacheKey = tuple[str, tuple[str, ...], object, int, str]
+
+
+def query_cache_key(
+    fingerprint: str,
+    query: KeywordQuery,
+    k: int | None,
+    mode: str = "topk",
+) -> CacheKey:
+    """The canonical cache key for one search against one database."""
+    return (fingerprint, tuple(sorted(query.keywords)), k, query.max_size, mode)
+
+
+@dataclass
+class CacheStats:
+    """Point-in-time counters (mirrored into the metrics registry)."""
+
+    hits: int = 0
+    misses: int = 0
+    expirations: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    entries: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class _Entry:
+    result: SearchResult
+    fingerprint: str
+    expires_at: float
+    stored_at: float = field(default_factory=time.monotonic)
+
+
+class QueryCache:
+    """A thread-safe LRU + TTL cache of materialized search results.
+
+    Args:
+        capacity: Maximum entries; least-recently-used beyond it are
+            evicted on insert.
+        ttl: Seconds an entry stays fresh; ``None`` disables expiry.
+        clock: Monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        ttl: float | None = 300.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("cache capacity must be positive")
+        if ttl is not None and ttl <= 0:
+            raise ValueError("ttl must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl = ttl
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._expirations = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: CacheKey) -> SearchResult | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if self._clock() >= entry.expires_at:
+                del self._entries[key]
+                self._expirations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.result
+
+    def put(self, key: CacheKey, result: SearchResult) -> None:
+        now = self._clock()
+        expires = now + self.ttl if self.ttl is not None else float("inf")
+        with self._lock:
+            self._entries[key] = _Entry(result, key[0], expires, now)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def invalidate(self, fingerprint: str | None = None) -> int:
+        """Drop entries; only those of one database when given its
+        fingerprint, everything otherwise.  Returns the count dropped.
+        The service calls this on database reload."""
+        with self._lock:
+            if fingerprint is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key
+                    for key, entry in self._entries.items()
+                    if entry.fingerprint == fingerprint
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            self._invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                expirations=self._expirations,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                entries=len(self._entries),
+            )

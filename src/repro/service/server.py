@@ -1,0 +1,577 @@
+"""The XKeyword query service: a long-lived HTTP/JSON front end.
+
+The paper frames XKeyword as a web-search-style system (Section 3.2
+delivers results "page by page as in web search engine interfaces"), but
+until now the reproduction was only reachable in-process or through a
+one-shot CLI that pays the full load-and-search cost per invocation.
+This module turns one loaded database into a serving process:
+
+* ``POST /search``   — ranked MTTONs as JSON (top-k or all-results);
+* ``GET  /expand``   — on-demand presentation-graph navigation;
+* ``GET  /healthz``  — liveness + database identity;
+* ``GET  /metrics``  — Prometheus text exposition.
+
+Three service concerns wrap the engine (each in its own module):
+:class:`~repro.service.cache.QueryCache` serves repeated queries without
+touching the pipeline, :class:`~repro.service.admission.AdmissionController`
+bounds concurrency and sheds overload with 503 + ``Retry-After``, and
+:class:`~repro.service.metrics.MetricsRegistry` meters everything via the
+engine's :class:`~repro.core.SearchHooks`.
+
+Everything is stdlib (``http.server`` + ``json``); the transport layer is
+deliberately thin so future PRs can swap it (asyncio, sharding front
+ends) without touching :class:`QueryService`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from ..core import (
+    ExecutionObserver,
+    KeywordQuery,
+    OnDemandNavigator,
+    SearchHooks,
+    SearchResult,
+    XKeyword,
+)
+from ..storage import LoadedDatabase
+from .admission import AdmissionController, DeadlineExceededError, RejectedError
+from .cache import QueryCache, query_cache_key
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class ServiceConfig:
+    """Service-level knobs (transport, pooling, caching)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    workers: int = 4
+    queue_size: int = 16
+    deadline: float | None = 30.0
+    cache_capacity: int = 256
+    cache_ttl: float | None = 300.0
+    default_k: int = 10
+    max_body_bytes: int = 64 * 1024
+    engine_threads: int = 4
+
+
+class _EngineInstrumentation(ExecutionObserver):
+    """Feeds engine hook events into the metrics registry."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._searches = registry.counter(
+            "repro_engine_searches_total", "Keyword searches executed by the engine"
+        )
+        self._latency = registry.histogram(
+            "repro_engine_search_seconds", "Engine-side search latency"
+        )
+        self._results = registry.counter(
+            "repro_engine_results_total", "MTTONs returned by the engine"
+        )
+        self._queries = {
+            cached: registry.counter(
+                "repro_engine_lookups_total",
+                "Focused relation lookups, by partial-result cache outcome",
+                cached="true" if cached else "false",
+            )
+            for cached in (True, False)
+        }
+
+    # SearchHooks callbacks ------------------------------------------------
+    def search_complete(self, query, result: SearchResult, seconds: float) -> None:
+        self._searches.inc()
+        self._latency.observe(seconds)
+        self._results.inc(len(result.mttons))
+
+    # ExecutionObserver ----------------------------------------------------
+    def on_query(self, relation_name: str, rows: int, cached: bool) -> None:
+        self._queries[cached].inc()
+
+    def hooks(self) -> SearchHooks:
+        return SearchHooks(on_search_complete=self.search_complete, observer=self)
+
+
+class QueryService:
+    """One loaded database behind caching, admission control and metrics.
+
+    The service owns the engine; :meth:`reload` atomically swaps in a new
+    :class:`LoadedDatabase` and invalidates the cross-query cache, so a
+    long-lived process can pick up re-generated data without restarting.
+    """
+
+    def __init__(
+        self,
+        loaded: LoadedDatabase,
+        config: ServiceConfig | None = None,
+        registry: MetricsRegistry | None = None,
+        engine_factory=None,
+    ) -> None:
+        """
+        Args:
+            loaded: The database to serve.
+            config: Service knobs; defaults are laptop-friendly.
+            registry: Metrics registry; a private one by default.
+            engine_factory: ``(LoadedDatabase, SearchHooks) -> engine``
+                override, used by tests to inject slow or fake engines.
+        """
+        self.config = config or ServiceConfig()
+        self.registry = registry or MetricsRegistry()
+        self._instrumentation = _EngineInstrumentation(self.registry)
+        self._engine_factory = engine_factory or (
+            lambda db, hooks: XKeyword(
+                db, threads=self.config.engine_threads, hooks=hooks
+            )
+        )
+        self._swap_lock = threading.Lock()
+        self._install(loaded)
+        self.cache = QueryCache(
+            capacity=self.config.cache_capacity, ttl=self.config.cache_ttl
+        )
+        self.admission = AdmissionController(
+            workers=self.config.workers,
+            queue_size=self.config.queue_size,
+            default_deadline=self.config.deadline,
+        )
+        self.started_at = time.time()
+        self._requests = lambda endpoint, status: self.registry.counter(
+            "repro_requests_total",
+            "HTTP requests by endpoint and outcome",
+            endpoint=endpoint,
+            status=str(status),
+        )
+        self._request_seconds = lambda endpoint: self.registry.histogram(
+            "repro_request_seconds", "End-to-end request latency", endpoint=endpoint
+        )
+        self._cache_hits = self.registry.counter(
+            "repro_query_cache_hits_total", "Cross-query cache hits"
+        )
+        self._cache_misses = self.registry.counter(
+            "repro_query_cache_misses_total", "Cross-query cache misses"
+        )
+        self._shed = self.registry.counter(
+            "repro_shed_total", "Requests shed because the queue was full"
+        )
+        self._deadline_exceeded = self.registry.counter(
+            "repro_deadline_exceeded_total", "Requests that missed their deadline"
+        )
+
+    def _install(self, loaded: LoadedDatabase) -> None:
+        self.loaded = loaded
+        self.fingerprint = loaded.fingerprint()
+        self.engine = self._engine_factory(loaded, self._instrumentation.hooks())
+
+    # ------------------------------------------------------------------
+    def reload(self, loaded: LoadedDatabase) -> dict:
+        """Swap the served database and invalidate its cached results."""
+        with self._swap_lock:
+            previous = self.fingerprint
+            self._install(loaded)
+            dropped = self.cache.invalidate(previous)
+            return {
+                "previous_fingerprint": previous,
+                "fingerprint": self.fingerprint,
+                "cache_entries_dropped": dropped,
+            }
+
+    # ------------------------------------------------------------------
+    def search(
+        self,
+        keywords: list[str],
+        k: int | None = None,
+        max_size: int = 8,
+        all_results: bool = False,
+        deadline: float | None = None,
+    ) -> dict:
+        """Run (or replay) one keyword search; returns the JSON payload.
+
+        Cache hits are answered inline — they cost a dictionary probe, so
+        they bypass admission control entirely and stay fast even when
+        the worker pool is saturated.
+        """
+        query = KeywordQuery(tuple(keywords), max_size=max_size)
+        mode = "all" if all_results else "topk"
+        k = None if all_results else (k if k is not None else self.config.default_k)
+        key = query_cache_key(self.fingerprint, query, k, mode)
+        started = time.perf_counter()
+        cached = self.cache.get(key)
+        if cached is not None:
+            self._cache_hits.inc()
+            return self._payload(cached, k, time.perf_counter() - started, True)
+        self._cache_misses.inc()
+
+        def execute() -> SearchResult:
+            if all_results:
+                return self.engine.search_all(query)
+            return self.engine.search(query, k=k)
+
+        result = self.admission.run(execute, deadline=deadline)
+        self.cache.put(key, result)
+        return self._payload(result, k, time.perf_counter() - started, False)
+
+    def _payload(
+        self, result: SearchResult, k: int | None, seconds: float, cached: bool
+    ) -> dict:
+        mttons = result.mttons if k is None else result.top(k)
+        return {
+            "query": {
+                "keywords": list(result.query.keywords),
+                "max_size": result.query.max_size,
+            },
+            "k": k,
+            "cached": cached,
+            "elapsed_ms": round(seconds * 1000.0, 3),
+            "count": len(mttons),
+            "page_count": result.page_count(),
+            "candidate_networks": len(result.candidate_networks),
+            "engine_metrics": {
+                "queries_sent": result.metrics.queries_sent,
+                "rows_fetched": result.metrics.rows_fetched,
+                "cache_hits": result.metrics.cache_hits,
+                "cache_misses": result.metrics.cache_misses,
+            },
+            "results": [self._mtton_payload(rank, m) for rank, m in enumerate(mttons, 1)],
+        }
+
+    @staticmethod
+    def _mtton_payload(rank: int, mtton) -> dict:
+        labels = mtton.ctssn.network.labels
+        return {
+            "rank": rank,
+            "score": mtton.score,
+            "network": mtton.ctssn.canonical_key,
+            "nodes": [
+                {
+                    "role": role,
+                    "label": labels[role],
+                    "target_object": to,
+                    "keywords": sorted(mtton.ctssn.keywords_of_role(role)),
+                }
+                for role, to in mtton.assignment
+            ],
+            "edges": [
+                {
+                    "source": edge.source_to,
+                    "target": edge.target_to,
+                    "label": edge.forward_label or edge.edge_id,
+                }
+                for edge in mtton.edges
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    def expand(
+        self,
+        keywords: list[str],
+        cn: int = -1,
+        role: int | None = None,
+        max_size: int = 8,
+        deadline: float | None = None,
+    ) -> dict:
+        """Initialize (and optionally expand) a presentation graph.
+
+        Args:
+            keywords: The keyword query.
+            cn: Candidate-network index in score order; -1 picks the
+                first network that has results.
+            role: CTSSN role to expand after initialization, if any.
+            deadline: Per-request deadline override.
+        """
+
+        def execute() -> dict:
+            query = KeywordQuery(tuple(keywords), max_size=max_size)
+            engine = self.engine
+            containing = engine.containing_lists(query)
+            ctssns = engine.candidate_tss_networks(query, containing)
+            if not ctssns:
+                raise LookupError("no candidate networks for this query")
+            candidates = sorted(ctssns, key=lambda c: (c.score, c.canonical_key))
+            if cn >= 0:
+                if cn >= len(candidates):
+                    raise LookupError(
+                        f"candidate network {cn} out of range "
+                        f"({len(candidates)} networks)"
+                    )
+                candidates = [candidates[cn]]
+            navigator = graph = None
+            for ctssn in candidates:
+                attempt = OnDemandNavigator(
+                    ctssn, engine.optimizer, engine.stores, containing
+                )
+                try:
+                    graph = attempt.initialize()
+                    navigator = attempt
+                    break
+                except LookupError:
+                    continue
+            if navigator is None or graph is None:
+                raise LookupError("no candidate network has results")
+            newly = []
+            if role is not None:
+                newly = sorted(navigator.expand(role))
+            labels = navigator.ctssn.network.labels
+            return {
+                "query": {"keywords": list(query.keywords), "max_size": query.max_size},
+                "network": navigator.ctssn.canonical_key,
+                "score": navigator.ctssn.score,
+                "roles": [
+                    {"role": index, "label": label}
+                    for index, label in enumerate(labels)
+                ],
+                "displayed": [
+                    {"role": r, "label": labels[r], "target_object": to}
+                    for r, to in sorted(graph.displayed)
+                ],
+                "newly_displayed": [
+                    {"role": r, "label": labels[r], "target_object": to}
+                    for r, to in newly
+                ],
+                "metrics": {
+                    "queries_sent": navigator.metrics.queries_sent,
+                    "rows_fetched": navigator.metrics.rows_fetched,
+                },
+            }
+
+        return self.admission.run(execute, deadline=deadline)
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "database_fingerprint": self.fingerprint,
+            "catalog": self.loaded.catalog.name,
+            "stores": sorted(self.loaded.stores),
+            "queue_depth": self.admission.queue_depth(),
+            "in_flight": self.admission.in_flight,
+            "cache_entries": len(self.cache),
+        }
+
+    def metrics_text(self) -> str:
+        """Render the registry, refreshing scrape-time gauges first."""
+        admission = self.admission.stats()
+        cache = self.cache.stats()
+        self.registry.gauge(
+            "repro_queue_depth", "Admitted requests waiting or executing"
+        ).set(self.admission.queue_depth())
+        self.registry.gauge(
+            "repro_in_flight", "Requests currently executing"
+        ).set(self.admission.in_flight)
+        self.registry.gauge(
+            "repro_query_cache_entries", "Live cross-query cache entries"
+        ).set(cache.entries)
+        self.registry.gauge(
+            "repro_query_cache_hit_rate", "Cross-query cache hit rate"
+        ).set(round(cache.hit_rate, 6))
+        self.registry.gauge(
+            "repro_admission_expired_total", "Requests expired while queued"
+        ).set(admission.expired)
+        return self.registry.render()
+
+    def close(self) -> None:
+        self.admission.shutdown()
+
+    # Metrics helpers used by the HTTP layer ----------------------------
+    def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        self._requests(endpoint, status).inc()
+        self._request_seconds(endpoint).observe(seconds)
+
+    def count_shed(self) -> None:
+        self._shed.inc()
+
+    def count_deadline_exceeded(self) -> None:
+        self._deadline_exceeded.inc()
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's QueryService."""
+
+    server_version = "XKeywordService/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> QueryService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        parsed = urlparse(self.path)
+        if parsed.path == "/healthz":
+            self._handle("healthz", lambda: self.service.healthz())
+        elif parsed.path == "/metrics":
+            self._handle_metrics()
+        elif parsed.path == "/expand":
+            params = parse_qs(parsed.query)
+            self._handle("expand", lambda: self._expand(params))
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path == "/search":
+            self._handle("search", self._search)
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    # ------------------------------------------------------------------
+    def _search(self) -> dict:
+        body = self._read_body()
+        keywords = body.get("keywords")
+        if keywords is None and "q" in body:
+            keywords = str(body["q"]).split()
+        if not keywords or not isinstance(keywords, list):
+            raise ValueError('body needs "keywords": [..] or "q": "a b"')
+        deadline = body.get("deadline")
+        return self.service.search(
+            [str(k) for k in keywords],
+            k=body.get("k"),
+            max_size=int(body.get("max_size", 8)),
+            all_results=bool(body.get("all", False)),
+            deadline=float(deadline) if deadline is not None else None,
+        )
+
+    def _expand(self, params: dict[str, list[str]]) -> dict:
+        if "q" not in params:
+            raise ValueError('query parameter "q" is required')
+        keywords = params["q"][0].split()
+        role = params.get("role")
+        return self.service.expand(
+            keywords,
+            cn=int(params.get("cn", ["-1"])[0]),
+            role=int(role[0]) if role else None,
+            max_size=int(params.get("max_size", ["8"])[0]),
+        )
+
+    # ------------------------------------------------------------------
+    def _handle(self, endpoint: str, producer) -> None:
+        started = time.perf_counter()
+        try:
+            payload = producer()
+            status = 200
+            self._send_json(status, payload)
+        except RejectedError as exc:
+            status = 503
+            self.service.count_shed()
+            self._send_json(
+                status,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.1f}"},
+            )
+        except DeadlineExceededError as exc:
+            status = 504
+            self.service.count_deadline_exceeded()
+            self._send_json(status, {"error": str(exc)})
+        except ValueError as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        except LookupError as exc:
+            status = 404
+            self._send_json(status, {"error": str(exc)})
+        except Exception as exc:  # pragma: no cover - defensive
+            status = 500
+            self._send_json(status, {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self.service.observe_request(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    def _handle_metrics(self) -> None:
+        started = time.perf_counter()
+        text = self.service.metrics_text().encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(text)))
+        self.end_headers()
+        self.wfile.write(text)
+        self.service.observe_request("metrics", 200, time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0))
+        if length > self.service.config.max_body_bytes:
+            # The body stays unread on the socket; without closing, the
+            # base handler would parse it as a pipelined request line.
+            self.close_connection = True
+            raise ValueError("request body too large")
+        raw = self.rfile.read(length) if length else b"{}"
+        try:
+            body = json.loads(raw or b"{}")
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"invalid JSON body: {exc}") from None
+        if not isinstance(body, dict):
+            raise ValueError("JSON body must be an object")
+        return body
+
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: dict[str, str] | None = None
+    ) -> None:
+        data = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class XKeywordHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer bound to one :class:`QueryService`.
+
+    Socket threads are cheap and unbounded here; real concurrency is
+    bounded by the service's admission controller, so a burst beyond the
+    queue gets fast 503s instead of piling onto the engine.
+    """
+
+    daemon_threads = True
+    # The stdlib default accept backlog of 5 drops connections under the
+    # very bursts the admission controller exists to absorb; shedding
+    # must happen with a 503, not a TCP reset.
+    request_queue_size = 128
+
+    def __init__(self, address: tuple[str, int], service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+        self.verbose = False
+
+    def shutdown(self) -> None:  # type: ignore[override]
+        super().shutdown()
+        self.service.close()
+
+
+def create_server(
+    loaded: LoadedDatabase,
+    config: ServiceConfig | None = None,
+    registry: MetricsRegistry | None = None,
+) -> XKeywordHTTPServer:
+    """Build a ready-to-run server; port 0 picks an ephemeral port."""
+    config = config or ServiceConfig()
+    service = QueryService(loaded, config=config, registry=registry)
+    return XKeywordHTTPServer((config.host, config.port), service)
+
+
+def serve(
+    loaded: LoadedDatabase,
+    config: ServiceConfig | None = None,
+) -> None:  # pragma: no cover - blocking entry point
+    """Serve until interrupted (the ``python -m repro serve`` body)."""
+    server = create_server(loaded, config)
+    host, port = server.server_address[:2]
+    print(f"XKeyword service listening on http://{host}:{port}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down")
+    finally:
+        server.shutdown()
+        server.server_close()

@@ -3,6 +3,7 @@
 from .blobs import BlobStore
 from .database import Database, quote_identifier
 from .decomposer import LoadReport, LoadedDatabase, load_database
+from .fingerprint import database_fingerprint
 from .master_index import IndexEntry, MasterIndex, tokenize
 from .persistence import has_metadata, load_metadata, persist_metadata, reopen_database
 from .relations import PhysicalTable, RelationStore, fragment_instances
@@ -22,6 +23,7 @@ __all__ = [
     "Statistics",
     "TargetObjectGraph",
     "build_target_object_graph",
+    "database_fingerprint",
     "fragment_instances",
     "has_metadata",
     "load_database",

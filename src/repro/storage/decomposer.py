@@ -66,6 +66,12 @@ class LoadedDatabase:
                 f"available: {sorted(self.stores)}"
             ) from None
 
+    def fingerprint(self) -> str:
+        """Content digest of the loaded data (see :mod:`.fingerprint`)."""
+        from .fingerprint import database_fingerprint
+
+        return database_fingerprint(self)
+
     def add_decomposition(self, decomposition: Decomposition) -> RelationStore:
         """Load one more decomposition into the same database."""
         store = RelationStore(self.database, decomposition)

@@ -30,7 +30,21 @@ class TestPagination:
             result.page(0)
 
     def test_page_count(self, result):
-        assert result.page_count == -(-len(result.mttons) // 10)
+        assert result.page_count() == -(-len(result.mttons) // 10)
+
+    def test_page_count_honors_per_page(self, result):
+        """page_count must agree with page() for any page size (a
+        previous revision hardcoded 10 regardless of per_page)."""
+        for per_page in (1, 3, 7, 10, 25):
+            count = result.page_count(per_page)
+            assert count == -(-len(result.mttons) // per_page)
+            if result.mttons:
+                assert result.page(count, per_page=per_page)
+            assert result.page(count + 1, per_page=per_page) == []
+
+    def test_page_count_rejects_bad_size(self, result):
+        with pytest.raises(ValueError):
+            result.page_count(0)
 
     def test_first_page_has_best_scores(self, result):
         first = result.page(1, per_page=5)

@@ -1,0 +1,133 @@
+"""Tests for admission control: pooling, shedding, deadlines."""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    DeadlineExceededError,
+    RejectedError,
+)
+
+
+@pytest.fixture
+def controller():
+    controller = AdmissionController(workers=2, queue_size=2, default_deadline=5.0)
+    yield controller
+    controller.shutdown()
+
+
+class TestExecution:
+    def test_runs_and_returns(self, controller):
+        assert controller.run(lambda: 42) == 42
+
+    def test_propagates_exceptions(self, controller):
+        with pytest.raises(KeyError):
+            controller.run(lambda: {}["missing"])
+        # The pool survives a failing job.
+        assert controller.run(lambda: "ok") == "ok"
+        assert controller.stats().failed == 1
+
+    def test_parallel_execution_uses_both_workers(self, controller):
+        barrier = threading.Barrier(2, timeout=5.0)
+        results = []
+
+        def task():
+            barrier.wait()  # both jobs must be in flight at once
+            return True
+
+        threads = [
+            threading.Thread(target=lambda: results.append(controller.run(task)))
+            for _ in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert results == [True, True]
+
+
+class TestShedding:
+    def test_sheds_when_queue_full(self):
+        controller = AdmissionController(workers=1, queue_size=1, default_deadline=5.0)
+        release = threading.Event()
+        outcomes = []
+
+        def slow():
+            release.wait(timeout=5.0)
+            return "done"
+
+        def submit():
+            try:
+                outcomes.append(("ok", controller.run(slow)))
+            except RejectedError as exc:
+                outcomes.append(("shed", exc.retry_after))
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.2)  # let admits land before releasing the workers
+        release.set()
+        for thread in threads:
+            thread.join()
+        controller.shutdown()
+        shed = [o for o in outcomes if o[0] == "shed"]
+        completed = [o for o in outcomes if o[0] == "ok"]
+        # Admitted = queue capacity (queue_size + workers = 2) plus the job
+        # the worker already dequeued; everything beyond sheds.
+        assert len(shed) >= 4
+        assert completed and all(value == "done" for _, value in completed)
+        assert all(retry > 0 for _, retry in shed)
+        assert controller.stats().shed == len(shed)
+
+    def test_rejects_after_shutdown(self):
+        controller = AdmissionController(workers=1, queue_size=1)
+        controller.shutdown()
+        with pytest.raises(RejectedError):
+            controller.run(lambda: 1)
+
+
+class TestDeadlines:
+    def test_caller_deadline_beats_slow_job(self, controller):
+        with pytest.raises(DeadlineExceededError):
+            controller.run(lambda: time.sleep(1.0), deadline=0.05)
+
+    def test_expired_while_queued_never_runs(self):
+        controller = AdmissionController(workers=1, queue_size=2, default_deadline=5.0)
+        release = threading.Event()
+        ran = []
+
+        def blocker():
+            release.wait(timeout=5.0)
+
+        def quick():
+            ran.append(True)
+
+        failures = []
+
+        def submit_blocked():
+            try:
+                controller.run(quick, deadline=0.05)
+            except DeadlineExceededError:
+                failures.append(True)
+
+        first = threading.Thread(target=lambda: controller.run(blocker))
+        first.start()
+        time.sleep(0.05)  # blocker occupies the only worker
+        second = threading.Thread(target=submit_blocked)
+        second.start()
+        second.join(timeout=2.0)
+        release.set()
+        first.join(timeout=2.0)
+        controller.shutdown()
+        assert failures == [True]
+        assert not ran  # the expired job was dropped at dequeue
+        assert controller.stats().expired == 1
+
+    def test_validates_construction(self):
+        with pytest.raises(ValueError):
+            AdmissionController(workers=0)
+        with pytest.raises(ValueError):
+            AdmissionController(workers=1, queue_size=-1)

@@ -1,0 +1,114 @@
+"""Tests for the dependency-free metrics registry."""
+
+import threading
+
+import pytest
+
+from repro.service import MetricsRegistry
+
+
+class TestCounter:
+    def test_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c_total", "help")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_rejects_negative(self):
+        counter = MetricsRegistry().counter("c_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_same_name_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("c_total") is registry.counter("c_total")
+
+    def test_labels_distinguish_series(self):
+        registry = MetricsRegistry()
+        ok = registry.counter("req_total", status="200")
+        bad = registry.counter("req_total", status="503")
+        ok.inc()
+        assert ok is not bad
+        assert bad.value == 0
+
+    def test_type_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(5)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 4
+
+
+class TestHistogram:
+    def test_counts_and_sum(self):
+        histogram = MetricsRegistry().histogram("lat_seconds", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == pytest.approx(5.55)
+
+    def test_quantile_estimate(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for _ in range(99):
+            histogram.observe(0.05)
+        histogram.observe(5.0)
+        assert histogram.quantile(0.5) == 0.1
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_exact_boundary_lands_in_bucket(self):
+        histogram = MetricsRegistry().histogram("lat", buckets=(1.0, 2.0))
+        histogram.observe(1.0)  # le="1" must include it (cumulative)
+        rendered = "\n".join(histogram.render())
+        assert 'lat_bucket{le="1"} 1' in rendered
+
+
+class TestExposition:
+    def test_prometheus_text_format(self):
+        registry = MetricsRegistry()
+        registry.counter("req_total", "Requests", endpoint="search").inc(3)
+        registry.gauge("depth", "Queue depth").set(2)
+        registry.histogram("lat_seconds", "Latency", buckets=(0.1,)).observe(0.05)
+        text = registry.render()
+        assert "# TYPE req_total counter" in text
+        assert "# HELP req_total Requests" in text
+        assert 'req_total{endpoint="search"} 3' in text
+        assert "# TYPE depth gauge" in text
+        assert "depth 2" in text
+        assert "# TYPE lat_seconds histogram" in text
+        assert 'lat_seconds_bucket{le="0.1"} 1' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+        assert "lat_seconds_count 1" in text
+        assert text.endswith("\n")
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("weird_total", label='say "hi"\n').inc()
+        assert 'label="say \\"hi\\"\\n"' in registry.render()
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_lose_nothing(self):
+        counter = MetricsRegistry().counter("c_total")
+        histogram = MetricsRegistry().histogram("h", buckets=(1.0,))
+
+        def hammer():
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(0.5)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert counter.value == 8000
+        assert histogram.count == 8000

@@ -1,0 +1,48 @@
+"""Tests for database content fingerprinting (cache-key identity)."""
+
+from repro.decomposition import minimal_decomposition, xkeyword_decomposition
+from repro.storage import database_fingerprint, load_database
+from repro.workloads import DBLPConfig, generate_dblp
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self, small_dblp_db):
+        assert small_dblp_db.fingerprint() == small_dblp_db.fingerprint()
+        assert small_dblp_db.fingerprint() == database_fingerprint(small_dblp_db)
+
+    def test_same_content_same_fingerprint(self, dblp):
+        graph = generate_dblp(DBLPConfig(papers=20, authors=10, seed=11))
+        first = load_database(graph, dblp, [minimal_decomposition(dblp.tss)])
+        second = load_database(graph, dblp, [minimal_decomposition(dblp.tss)])
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_different_data_different_fingerprint(self, dblp):
+        one = load_database(
+            generate_dblp(DBLPConfig(papers=20, authors=10, seed=11)),
+            dblp,
+            [minimal_decomposition(dblp.tss)],
+        )
+        other = load_database(
+            generate_dblp(DBLPConfig(papers=20, authors=10, seed=12)),
+            dblp,
+            [minimal_decomposition(dblp.tss)],
+        )
+        assert one.fingerprint() != other.fingerprint()
+
+    def test_different_catalog_different_fingerprint(self, small_dblp_db, small_tpch_db):
+        assert small_dblp_db.fingerprint() != small_tpch_db.fingerprint()
+
+    def test_adding_decomposition_changes_fingerprint(self, dblp):
+        loaded = load_database(
+            generate_dblp(DBLPConfig(papers=10, authors=8, seed=2)),
+            dblp,
+            [minimal_decomposition(dblp.tss)],
+        )
+        before = loaded.fingerprint()
+        loaded.add_decomposition(xkeyword_decomposition(dblp.tss, 4, 1))
+        assert loaded.fingerprint() != before
+
+    def test_hex_digest_shape(self, small_dblp_db):
+        digest = small_dblp_db.fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # valid hex

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.core import KeywordQuery, XKeyword
+from repro.core import KeywordQuery, ResultCache, XKeyword
 
 
 class TestConcurrentSearches:
@@ -58,3 +58,54 @@ class TestConcurrentSearches:
             # Results are always presented in ranking order, whatever
             # order the threads produced them in.
             assert result.scores() == sorted(result.scores())
+
+
+class TestResultCacheThreadSafety:
+    def test_concurrent_get_put_eviction(self):
+        """The partial-result cache is shared by the per-CN thread pool
+        (and by concurrent service requests): hammering it from many
+        threads must neither raise nor overflow the capacity bound."""
+        cache = ResultCache(capacity=64)
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(2000):
+                    key = ("cn", worker % 3, i % 100)
+                    hit = cache.get(key)
+                    if hit is not None:
+                        assert isinstance(hit, list)
+                    cache.put(key, [{worker: f"to{i}"}])
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors, errors
+        assert len(cache) <= 64
+
+    def test_shared_lookup_cache_across_parallel_searches(self, small_dblp_db):
+        """Concurrent engine searches sharing one database (the service
+        pattern) agree with the serial baseline while the thread pools
+        share and mutate their caches."""
+        engine = XKeyword(small_dblp_db, threads=4)
+        query = KeywordQuery.of("hristidis", "smith", max_size=6)
+        expected = {
+            m.assignment for m in engine.search_all(query, parallel=False).mttons
+        }
+        mismatches: list[str] = []
+
+        def worker() -> None:
+            got = {m.assignment for m in engine.search_all(query, parallel=True).mttons}
+            if got != expected:
+                mismatches.append(f"{len(got)} != {len(expected)}")
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not mismatches, mismatches
