@@ -1,0 +1,76 @@
+"""``python -m repro.analysis`` — lint the tree, exit non-zero on findings."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from . import RULES, all_checkers, run_analysis
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis for the XKeyword reproduction "
+        "(import layering, lock discipline, concurrency hygiene).",
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default=None,
+        type=Path,
+        help="package directory to lint (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalogue and exit"
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named checker(s): layering, locks, general",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in sorted(RULES.items()):
+            print(f"{rule}  {description}")
+        return 0
+
+    root = args.root
+    if root is None:
+        root = Path(__file__).resolve().parent.parent
+    if not root.is_dir():
+        print(f"error: {root} is not a directory", file=sys.stderr)
+        return 2
+
+    checkers = all_checkers()
+    if args.checker:
+        wanted = set(args.checker)
+        known = {checker.name for checker in checkers}
+        unknown = wanted - known
+        if unknown:
+            print(
+                f"error: unknown checker(s): {', '.join(sorted(unknown))} "
+                f"(known: {', '.join(sorted(known))})",
+                file=sys.stderr,
+            )
+            return 2
+        checkers = [checker for checker in checkers if checker.name in wanted]
+
+    findings = run_analysis(root, checkers)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"\n{len(findings)} finding(s).", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:  # e.g. `... --list-rules | head`
+        raise SystemExit(0)

@@ -1,0 +1,458 @@
+"""Level 2: static verification of CNs, CTSSNs and plans (RV301-RV310).
+
+The paper's correctness rests on structural invariants the pipeline is
+supposed to maintain: candidate networks are trees with total, disjoint
+keyword coverage and no free leaves (Section 4 and the Section 5 pruning
+conditions); candidate TSS networks stay expressible over the TSS graph;
+execution plans cover every network edge with genuine fragment
+embeddings joined on shared roles (Section 6).  These are *static*
+properties of the objects — checkable before a single relation lookup —
+so this module checks them eagerly when the engine runs in
+``debug_verify`` mode and raises :class:`InvariantError` on the first
+violating object.
+
+Checks are pure functions returning violation lists, so tests can assert
+on specific rules; :class:`DebugVerifier` adapts them to the engine's
+``NetworkVerifier`` seam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+from ..schema.graph import SchemaError
+
+if TYPE_CHECKING:  # import cycle shields only; all uses are annotations
+    from ..core.cn_generator import CandidateNetwork
+    from ..core.ctssn import CTSSN
+    from ..core.plans import ExecutionPlan
+    from ..decomposition.fragments import TSSNetwork
+    from ..schema.tss import TSSGraph
+    from ..storage.relations import RelationStore
+
+
+@dataclass(frozen=True, slots=True)
+class InvariantViolation:
+    """One violated domain invariant on one pipeline object."""
+
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.rule}: {self.message}"
+
+
+class InvariantError(AssertionError):
+    """Raised by :class:`DebugVerifier` when an object violates invariants.
+
+    Subclasses ``AssertionError`` deliberately: a violation here means the
+    pipeline itself is broken, not that the query was bad.
+    """
+
+    def __init__(self, subject: str, violations: Sequence[InvariantViolation]) -> None:
+        self.subject = subject
+        self.violations = tuple(violations)
+        details = "; ".join(v.render() for v in violations)
+        super().__init__(f"{subject}: {details}")
+
+
+# ----------------------------------------------------------------------
+# RV301 — tree shape
+# ----------------------------------------------------------------------
+def network_violations(network: "TSSNetwork") -> list[InvariantViolation]:
+    """Re-derive the tree property instead of trusting the constructor."""
+    violations: list[InvariantViolation] = []
+    count = network.role_count
+    if count == 0:
+        return [InvariantViolation("RV301", "network has no roles")]
+    if len(network.edges) != count - 1:
+        violations.append(
+            InvariantViolation(
+                "RV301",
+                f"{count} roles with {len(network.edges)} edges cannot be a tree",
+            )
+        )
+    parent = list(range(count))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for edge in network.edges:
+        if not (0 <= edge.source < count and 0 <= edge.target < count):
+            violations.append(
+                InvariantViolation("RV301", f"edge {edge} references unknown role")
+            )
+            continue
+        if edge.source == edge.target:
+            violations.append(InvariantViolation("RV301", f"self-loop {edge}"))
+            continue
+        ra, rb = find(edge.source), find(edge.target)
+        if ra == rb:
+            violations.append(
+                InvariantViolation("RV301", f"edge {edge} closes a cycle")
+            )
+        else:
+            parent[ra] = rb
+    if not violations and len({find(role) for role in range(count)}) != 1:
+        violations.append(
+            InvariantViolation("RV301", "roles are not connected")
+        )  # pragma: no cover - implied by count+acyclicity above
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Keyword coverage (RV302/RV303) shared by CN and CTSSN checks
+# ----------------------------------------------------------------------
+def _coverage_violations(
+    role_keywords: Sequence[frozenset[str]], keywords: Sequence[str]
+) -> list[InvariantViolation]:
+    violations: list[InvariantViolation] = []
+    wanted = frozenset(keywords)
+    covered: set[str] = set()
+    duplicated: set[str] = set()
+    for role_set in role_keywords:
+        duplicated |= covered & role_set
+        covered |= role_set
+    missing = wanted - covered
+    if missing:
+        violations.append(
+            InvariantViolation(
+                "RV302", f"keywords {sorted(missing)} are not covered by any role"
+            )
+        )
+    stray = covered - wanted
+    if stray:
+        violations.append(
+            InvariantViolation(
+                "RV302", f"roles carry keywords {sorted(stray)} absent from the query"
+            )
+        )
+    if duplicated:
+        violations.append(
+            InvariantViolation(
+                "RV303",
+                f"keywords {sorted(duplicated)} are assigned to multiple roles "
+                "(breaks exact-subset semantics; results would duplicate)",
+            )
+        )
+    return violations
+
+
+def _free_leaf_violations(
+    network: "TSSNetwork", annotated: Sequence[bool]
+) -> list[InvariantViolation]:
+    if network.role_count <= 1:
+        return []
+    return [
+        InvariantViolation(
+            "RV304",
+            f"role {role} ({network.labels[role]}) is an unannotated leaf; "
+            "dropping it would leave a smaller total network (MTNN "
+            "minimality, Section 5 pruning)",
+        )
+        for role in range(network.role_count)
+        if len(network.incident(role)) == 1 and not annotated[role]
+    ]
+
+
+# ----------------------------------------------------------------------
+# Public checks
+# ----------------------------------------------------------------------
+def cn_violations(
+    cn: "CandidateNetwork", keywords: Sequence[str]
+) -> list[InvariantViolation]:
+    """Section 4/5 invariants of one candidate network."""
+    violations = network_violations(cn.network)
+    if len(cn.annotations) != cn.network.role_count:
+        violations.append(
+            InvariantViolation(
+                "RV302",
+                f"{len(cn.annotations)} annotations for "
+                f"{cn.network.role_count} roles",
+            )
+        )
+        return violations
+    violations.extend(_coverage_violations(cn.annotations, keywords))
+    violations.extend(
+        _free_leaf_violations(cn.network, [bool(a) for a in cn.annotations])
+    )
+    return violations
+
+
+def ctssn_violations(
+    ctssn: "CTSSN", keywords: Sequence[str], tss_graph: "TSSGraph"
+) -> list[InvariantViolation]:
+    """CTSSN invariants, including expressibility over the TSS graph."""
+    network = ctssn.network
+    violations = network_violations(network)
+    if len(ctssn.annotations) != network.role_count:
+        violations.append(
+            InvariantViolation(
+                "RV302",
+                f"{len(ctssn.annotations)} annotations for "
+                f"{network.role_count} roles",
+            )
+        )
+        return violations
+    role_keywords = [
+        ctssn.keywords_of_role(role) for role in range(network.role_count)
+    ]
+    # Witness constraints inside one role must not share keywords either.
+    for role, constraints in enumerate(ctssn.annotations):
+        total = sum(len(constraint.keywords) for constraint in constraints)
+        if total != len(role_keywords[role]):
+            violations.append(
+                InvariantViolation(
+                    "RV303",
+                    f"role {role} witness constraints overlap on keywords",
+                )
+            )
+    violations.extend(_coverage_violations(role_keywords, keywords))
+    violations.extend(
+        _free_leaf_violations(network, [bool(a) for a in ctssn.annotations])
+    )
+    # RV305 — every label and edge must exist in the TSS graph.
+    for role, label in enumerate(network.labels):
+        if not tss_graph.has_tss(label):
+            violations.append(
+                InvariantViolation(
+                    "RV305", f"role {role} label {label!r} is not a TSS"
+                )
+            )
+    for edge in network.edges:
+        try:
+            tss_edge = tss_graph.edge(edge.edge_id)
+        except SchemaError:
+            violations.append(
+                InvariantViolation(
+                    "RV305", f"edge id {edge.edge_id!r} does not exist in the TSS graph"
+                )
+            )
+            continue
+        if (
+            network.labels[edge.source] != tss_edge.source
+            or network.labels[edge.target] != tss_edge.target
+        ):
+            violations.append(
+                InvariantViolation(
+                    "RV305",
+                    f"edge {edge} endpoints "
+                    f"({network.labels[edge.source]} -> "
+                    f"{network.labels[edge.target]}) disagree with TSS edge "
+                    f"{tss_edge.source} -> {tss_edge.target}",
+                )
+            )
+    return violations
+
+
+def _embedding_violations(
+    plan: "ExecutionPlan", step_index: int
+) -> list[InvariantViolation]:
+    """RV309: the step's role map must be a genuine fragment embedding."""
+    step = plan.steps[step_index]
+    network = plan.ctssn.network
+    fragment = step.piece.fragment
+    mapping = dict(step.piece.role_map)
+    prefix = f"step {step_index} ({step.relation_name})"
+    violations: list[InvariantViolation] = []
+    if sorted(mapping) != list(range(fragment.role_count)):
+        return [
+            InvariantViolation(
+                "RV309", f"{prefix}: role map does not cover every fragment role"
+            )
+        ]
+    if len(set(mapping.values())) != len(mapping):
+        violations.append(
+            InvariantViolation("RV309", f"{prefix}: role map is not injective")
+        )
+    for fragment_role, network_role in mapping.items():
+        if not 0 <= network_role < network.role_count:
+            violations.append(
+                InvariantViolation(
+                    "RV309", f"{prefix}: maps to unknown network role {network_role}"
+                )
+            )
+        elif fragment.labels[fragment_role] != network.labels[network_role]:
+            violations.append(
+                InvariantViolation(
+                    "RV309",
+                    f"{prefix}: fragment role {fragment_role} "
+                    f"({fragment.labels[fragment_role]}) maps to network role "
+                    f"{network_role} ({network.labels[network_role]})",
+                )
+            )
+    if violations:
+        return violations
+    edge_index = {
+        (edge.source, edge.target, edge.edge_id): position
+        for position, edge in enumerate(network.edges)
+    }
+    mapped: set[int] = set()
+    for edge in fragment.edges:
+        key = (mapping[edge.source], mapping[edge.target], edge.edge_id)
+        position = edge_index.get(key)
+        if position is None:
+            violations.append(
+                InvariantViolation(
+                    "RV309",
+                    f"{prefix}: fragment edge {edge} maps onto no network edge "
+                    "with the same TSS edge id and orientation",
+                )
+            )
+        else:
+            mapped.add(position)
+    if not violations and mapped != set(step.piece.covered_edges):
+        violations.append(
+            InvariantViolation(
+                "RV309",
+                f"{prefix}: covered_edges {sorted(step.piece.covered_edges)} "
+                f"disagree with the embedding's edges {sorted(mapped)}",
+            )
+        )
+    return violations
+
+
+def plan_violations(
+    plan: "ExecutionPlan", stores: Mapping[str, "RelationStore"]
+) -> list[InvariantViolation]:
+    """Section 6 invariants: coverage, joinability, materialization."""
+    network = plan.ctssn.network
+    violations: list[InvariantViolation] = []
+
+    # RV310 — the anchor must exist, and the first step must bind it so
+    # the outermost loop can seed from its keyword filter.
+    if not 0 <= plan.anchor_role < network.role_count:
+        violations.append(
+            InvariantViolation(
+                "RV310", f"anchor role {plan.anchor_role} is out of range"
+            )
+        )
+    elif plan.steps and plan.anchor_role not in plan.steps[0].new_roles:
+        violations.append(
+            InvariantViolation(
+                "RV310",
+                f"anchor role {plan.anchor_role} is not bound by the first step",
+            )
+        )
+
+    # RV306 — every network edge must be covered by some step.
+    covered: set[int] = set()
+    for step in plan.steps:
+        covered |= step.piece.covered_edges
+    all_edges = set(range(network.size))
+    if covered - all_edges:
+        violations.append(
+            InvariantViolation(
+                "RV306",
+                f"steps cover nonexistent edge indices {sorted(covered - all_edges)}",
+            )
+        )
+    if all_edges - covered:
+        violations.append(
+            InvariantViolation(
+                "RV306",
+                f"network edges {sorted(all_edges - covered)} are covered by no step",
+            )
+        )
+
+    # RV307 — nested-loop joinability: each step after the first must
+    # share a bound role, and the shared/new split must be consistent.
+    bound: set[int] = set()
+    for index, step in enumerate(plan.steps):
+        roles = set(step.roles())
+        shared = set(step.shared_roles)
+        new = set(step.new_roles)
+        prefix = f"step {index} ({step.relation_name})"
+        if shared | new != roles or shared & new:
+            violations.append(
+                InvariantViolation(
+                    "RV307",
+                    f"{prefix}: shared {sorted(shared)} + new {sorted(new)} "
+                    f"do not partition the step's roles {sorted(roles)}",
+                )
+            )
+        if shared != roles & bound:
+            violations.append(
+                InvariantViolation(
+                    "RV307",
+                    f"{prefix}: declares join keys {sorted(shared)} but the "
+                    f"previously bound overlap is {sorted(roles & bound)}",
+                )
+            )
+        if index > 0 and not roles & bound:
+            violations.append(
+                InvariantViolation(
+                    "RV307",
+                    f"{prefix}: shares no role with earlier steps (a cross "
+                    "product, not a join)",
+                )
+            )
+        bound |= roles
+
+        # RV308 — the relation must exist in the step's store.
+        store = stores.get(step.store_name)
+        if store is None:
+            violations.append(
+                InvariantViolation(
+                    "RV308", f"{prefix}: unknown store {step.store_name!r}"
+                )
+            )
+        else:
+            materialized = {
+                fragment.relation_name
+                for fragment in store.decomposition.fragments
+            }
+            if step.relation_name not in materialized:
+                violations.append(
+                    InvariantViolation(
+                        "RV308",
+                        f"{prefix}: relation is not materialized by "
+                        f"decomposition {step.store_name!r}",
+                    )
+                )
+
+        violations.extend(_embedding_violations(plan, index))
+
+    if plan.steps and bound != set(range(network.role_count)):
+        unbound = sorted(set(range(network.role_count)) - bound)
+        violations.append(
+            InvariantViolation(
+                "RV306", f"roles {unbound} are bound by no step"
+            )
+        )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# Engine adapter
+# ----------------------------------------------------------------------
+class DebugVerifier:
+    """The engine's ``debug_verify`` hook: raise on the first bad object.
+
+    Plugs into :class:`repro.core.engine.XKeyword` via its ``verifier``
+    argument; the dependency points analysis -> core (annotations only),
+    never core -> analysis, keeping the layering DAG intact.
+    """
+
+    def check_cn(self, cn: "CandidateNetwork", keywords: Sequence[str]) -> None:
+        violations = cn_violations(cn, keywords)
+        if violations:
+            raise InvariantError(f"candidate network {cn}", violations)
+
+    def check_ctssn(
+        self, ctssn: "CTSSN", keywords: Sequence[str], tss_graph: "TSSGraph"
+    ) -> None:
+        violations = ctssn_violations(ctssn, keywords, tss_graph)
+        if violations:
+            raise InvariantError(f"CTSSN {ctssn}", violations)
+
+    def check_plan(
+        self, plan: "ExecutionPlan", stores: Mapping[str, "RelationStore"]
+    ) -> None:
+        violations = plan_violations(plan, stores)
+        if violations:
+            raise InvariantError(f"plan for {plan.ctssn}", violations)

@@ -1,0 +1,88 @@
+"""Source loading for the lint: parsed modules plus suppression data.
+
+A :class:`Module` couples one file's AST with everything the checkers
+need to attribute findings: its dotted name, the subpackage it belongs
+to, the raw source lines (guard annotations live in comments, which the
+AST drops) and per-line suppressions of the form::
+
+    risky_line()  # analysis: ignore[RA101]
+    other_line()  # analysis: ignore
+
+The package root passed to :func:`load_modules` is the directory of the
+package itself (``src/repro`` for the real tree, a fixture directory in
+tests), so the same machinery lints both.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .findings import Finding
+
+_SUPPRESS = re.compile(r"#\s*analysis:\s*ignore(?:\[([A-Z0-9, ]+)\])?")
+
+
+@dataclass
+class Module:
+    """One parsed source file under analysis."""
+
+    path: Path
+    name: str
+    """Dotted module name, e.g. ``repro.core.engine``."""
+    package: str
+    """First subpackage under the root (``core``); ``""`` at top level."""
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+    """Line number -> suppressed rule ids (``{"*"}`` suppresses all)."""
+
+    def suppressed(self, line: int, rule: str) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and ("*" in rules or rule in rules)
+
+    def finding(self, line: int, rule: str, message: str) -> Finding:
+        return Finding(str(self.path), line, rule, message)
+
+
+def parse_module(path: Path, root: Path) -> Module:
+    """Parse one file; ``root`` is the package directory itself."""
+    text = path.read_text()
+    relative = path.relative_to(root)
+    parts = [root.name, *relative.parts[:-1]]
+    stem = relative.stem
+    if stem != "__init__":
+        parts.append(stem)
+    package = relative.parts[0] if len(relative.parts) > 1 else ""
+    lines = text.splitlines()
+    suppressions: dict[int, set[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        match = _SUPPRESS.search(line)
+        if match:
+            listed = match.group(1)
+            rules = (
+                {rule.strip() for rule in listed.split(",") if rule.strip()}
+                if listed
+                else {"*"}
+            )
+            suppressions[number] = rules
+    return Module(
+        path=path,
+        name=".".join(parts),
+        package=package,
+        tree=ast.parse(text, filename=str(path)),
+        lines=lines,
+        suppressions=suppressions,
+    )
+
+
+def load_modules(root: Path) -> list[Module]:
+    """Every ``*.py`` under the package directory, parsed."""
+    root = root.resolve()
+    return [
+        parse_module(path, root)
+        for path in sorted(root.rglob("*.py"))
+        if "__pycache__" not in path.parts
+    ]

@@ -73,6 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
         )
         sub.add_argument("--all", action="store_true", help="list every result")
         sub.add_argument("--seed", type=int, default=7)
+        sub.add_argument(
+            "--debug-verify",
+            action="store_true",
+            dest="debug_verify",
+            help="verify CN/CTSSN/plan invariants (RV301-RV310) before executing",
+        )
         if name == "navigate":
             sub.add_argument(
                 "--cn",
@@ -120,7 +126,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--cache-ttl", type=float, default=300.0, dest="cache_ttl",
         help="result-cache freshness in seconds (0 disables expiry)",
     )
+    serve.add_argument(
+        "--debug-verify",
+        action="store_true",
+        dest="debug_verify",
+        help="verify CN/CTSSN/plan invariants on every query (diagnostic)",
+    )
     return parser
+
+
+def _make_engine(args: argparse.Namespace, loaded: LoadedDatabase) -> XKeyword:
+    verifier = None
+    if getattr(args, "debug_verify", False):
+        from .analysis.plans import DebugVerifier
+
+        verifier = DebugVerifier()
+    return XKeyword(loaded, verifier=verifier)
 
 
 def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
@@ -173,7 +194,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 def _cmd_search(args: argparse.Namespace) -> int:
     catalog, loaded = _load(args)
-    engine = XKeyword(loaded)
+    engine = _make_engine(args, loaded)
     query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
     started = time.perf_counter()
     if args.all:
@@ -199,7 +220,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_explain(args: argparse.Namespace) -> int:
     catalog, loaded = _load(args)
-    engine = XKeyword(loaded)
+    engine = _make_engine(args, loaded)
     query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
     containing = engine.containing_lists(query)
     for keyword in query.keywords:
@@ -220,7 +241,7 @@ def _cmd_navigate(args: argparse.Namespace) -> int:
     from .core import OnDemandNavigator
 
     catalog, loaded = _load(args)
-    engine = XKeyword(loaded)
+    engine = _make_engine(args, loaded)
     query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
     containing = engine.containing_lists(query)
     ctssns = engine.candidate_tss_networks(query, containing)
@@ -299,6 +320,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         deadline=args.deadline or None,
         cache_capacity=args.cache_entries,
         cache_ttl=args.cache_ttl or None,
+        debug_verify=args.debug_verify,
     )
     print(
         f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "

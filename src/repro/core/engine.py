@@ -14,9 +14,11 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Mapping, Protocol, Sequence
 
+from ..schema.tss import TSSGraph
 from ..storage.decomposer import LoadedDatabase
+from ..storage.relations import RelationStore
 from .cn_generator import CandidateNetwork, CNGenerator
 from .ctssn import CTSSN, reduce_to_ctssn
 from .execution import (
@@ -93,6 +95,27 @@ class SearchHooks:
     """Passed to every executor; sees per-lookup and per-CN completion."""
 
 
+class NetworkVerifier(Protocol):
+    """Checks pipeline objects before execution (the ``debug_verify`` seam).
+
+    The engine calls these on every generated CN, every reduced CTSSN and
+    every plan when a verifier is installed; implementations raise on
+    violation.  The concrete checker lives in
+    :class:`repro.analysis.plans.DebugVerifier` — the protocol keeps the
+    dependency pointing analysis -> core, never the reverse.
+    """
+
+    def check_cn(self, cn: CandidateNetwork, keywords: Sequence[str]) -> None: ...
+
+    def check_ctssn(
+        self, ctssn: CTSSN, keywords: Sequence[str], tss_graph: TSSGraph
+    ) -> None: ...
+
+    def check_plan(
+        self, plan: ExecutionPlan, stores: Mapping[str, RelationStore]
+    ) -> None: ...
+
+
 class XKeyword:
     """Keyword proximity search over a loaded XML database."""
 
@@ -103,6 +126,7 @@ class XKeyword:
         executor_config: ExecutorConfig | None = None,
         threads: int = 4,
         hooks: SearchHooks | None = None,
+        verifier: NetworkVerifier | None = None,
     ) -> None:
         """
         Args:
@@ -113,6 +137,9 @@ class XKeyword:
             executor_config: Default execution switches.
             threads: Thread-pool width for top-k search.
             hooks: Optional instrumentation callbacks.
+            verifier: Optional invariant checker run on every CN, CTSSN
+                and plan before execution (``debug_verify`` mode); adds
+                per-query overhead, so serving defaults to ``None``.
         """
         self.loaded = loaded
         names = store_priority or list(loaded.stores)
@@ -120,6 +147,7 @@ class XKeyword:
         self.executor_config = executor_config or ExecutorConfig()
         self.threads = max(1, threads)
         self.hooks = hooks or SearchHooks()
+        self.verifier = verifier
         self.optimizer = Optimizer(self.stores, loaded.statistics)
 
     # ------------------------------------------------------------------
@@ -133,23 +161,41 @@ class XKeyword:
     ) -> list[CandidateNetwork]:
         containing = containing or self.containing_lists(query)
         generator = CNGenerator(self.loaded.catalog.schema, containing.schema_nodes())
-        return generator.generate(query)
+        networks = generator.generate(query)
+        if self.verifier is not None:
+            for cn in networks:
+                self.verifier.check_cn(cn, query.keywords)
+        return networks
 
     def candidate_tss_networks(
         self, query: KeywordQuery, containing: ContainingLists | None = None
     ) -> list[CTSSN]:
         containing = containing or self.containing_lists(query)
-        return [
+        ctssns = [
             reduce_to_ctssn(cn, self.loaded.catalog.tss)
             for cn in self.candidate_networks(query, containing)
         ]
+        self._verify_ctssns(ctssns, query)
+        return ctssns
 
     def plan(self, ctssn: CTSSN, containing: ContainingLists) -> ExecutionPlan:
         role_costs = {
             role: len(containing.allowed_tos(constraints))
             for role, constraints in ctssn.keyword_roles()
         }
-        return self.optimizer.plan(ctssn, role_costs)
+        return self._verified_plan(self.optimizer.plan(ctssn, role_costs))
+
+    def _verify_ctssns(self, ctssns: list[CTSSN], query: KeywordQuery) -> None:
+        if self.verifier is not None:
+            for ctssn in ctssns:
+                self.verifier.check_ctssn(
+                    ctssn, query.keywords, self.loaded.catalog.tss
+                )
+
+    def _verified_plan(self, plan: ExecutionPlan) -> ExecutionPlan:
+        if self.verifier is not None:
+            self.verifier.check_plan(plan, self.stores)
+        return plan
 
     # ------------------------------------------------------------------
     # Search entry points
@@ -208,7 +254,9 @@ class XKeyword:
         )
         lookup_cache = ResultCache(config.cache_capacity)
         for ctssn in ordered:
-            plan = self.optimizer.plan(ctssn, role_costs_of[ctssn.canonical_key])
+            plan = self._verified_plan(
+                self.optimizer.plan(ctssn, role_costs_of[ctssn.canonical_key])
+            )
             executor = CTSSNExecutor(
                 plan,
                 self.stores,
@@ -248,6 +296,7 @@ class XKeyword:
             reduce_to_ctssn(cn, self.loaded.catalog.tss)
             for cn in result.candidate_networks
         ]
+        self._verify_ctssns(result.ctssns, query)
         # Smaller CNs first (cheaper and higher ranked, per the paper);
         # ties broken by the statistics-estimated result count.
         role_costs_of = {
