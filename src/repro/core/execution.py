@@ -73,7 +73,7 @@ class ResultCache:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
-        self._entries: OrderedDict[tuple, list[ResultRow]] = OrderedDict()
+        self._entries: OrderedDict[tuple, list[ResultRow]] = OrderedDict()  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> list[ResultRow] | None:

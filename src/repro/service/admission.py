@@ -91,10 +91,10 @@ class AdmissionController:
         # Workers block on get(); the bound applies to *waiting* jobs, so
         # total admitted = queue_size + workers currently executing.
         self._queue: queue.Queue[_Job | None] = queue.Queue(maxsize=queue_size + workers)
-        self._stats = AdmissionStats()
+        self._stats = AdmissionStats()  # guarded by: self._lock
         self._lock = threading.Lock()
-        self._in_flight = 0
-        self._closed = False
+        self._in_flight = 0  # guarded by: self._lock
+        self._closed = False  # guarded by: self._lock [writes]
         self._threads = [
             threading.Thread(target=self._worker, name=f"repro-worker-{i}", daemon=True)
             for i in range(workers)
@@ -185,7 +185,10 @@ class AdmissionController:
             )
 
     def shutdown(self, wait: bool = True) -> None:
-        self._closed = True
+        # RA101: _closed is published under the lock so a concurrent
+        # run() never admits work after the sentinels are queued.
+        with self._lock:
+            self._closed = True
         for _ in self._threads:
             self._queue.put(None)
         if wait:

@@ -94,12 +94,12 @@ class QueryCache:
         self.ttl = ttl
         self._clock = clock
         self._lock = threading.Lock()
-        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()
-        self._hits = 0
-        self._misses = 0
-        self._expirations = 0
-        self._evictions = 0
-        self._invalidations = 0
+        self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()  # guarded by: self._lock
+        self._hits = 0  # guarded by: self._lock
+        self._misses = 0  # guarded by: self._lock
+        self._expirations = 0  # guarded by: self._lock
+        self._evictions = 0  # guarded by: self._lock
+        self._invalidations = 0  # guarded by: self._lock
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> SearchResult | None:

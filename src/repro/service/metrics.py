@@ -64,7 +64,7 @@ class Counter:
     labels: dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._value = 0.0
+        self._value = 0.0  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
@@ -91,7 +91,7 @@ class Gauge:
     labels: dict[str, str] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        self._value = 0.0
+        self._value = 0.0  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
@@ -126,9 +126,9 @@ class Histogram:
 
     def __post_init__(self) -> None:
         self.buckets = tuple(sorted(self.buckets))
-        self._counts = [0] * (len(self.buckets) + 1)  # +1 for +Inf
-        self._sum = 0.0
-        self._total = 0
+        self._counts = [0] * (len(self.buckets) + 1)  # guarded by: self._lock
+        self._sum = 0.0  # guarded by: self._lock
+        self._total = 0  # guarded by: self._lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -204,7 +204,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._instruments: dict[tuple[str, tuple], Counter | Gauge | Histogram] = {}
+        self._instruments: dict[  # guarded by: self._lock
+            tuple[str, tuple], Counter | Gauge | Histogram
+        ] = {}
 
     # ------------------------------------------------------------------
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:

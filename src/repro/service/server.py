@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
 
+from ..analysis.plans import DebugVerifier
 from ..core import (
     ExecutionObserver,
     KeywordQuery,
@@ -60,6 +61,12 @@ class ServiceConfig:
     default_k: int = 10
     max_body_bytes: int = 64 * 1024
     engine_threads: int = 4
+    debug_verify: bool = False
+    """Verify CN/CTSSN/plan invariants on every query (RV301-RV310).
+
+    Diagnostic mode: it adds per-query overhead (see
+    ``benchmarks/bench_analysis_overhead.py``), so serving defaults off.
+    """
 
 
 class _EngineInstrumentation(ExecutionObserver):
@@ -98,6 +105,21 @@ class _EngineInstrumentation(ExecutionObserver):
         return SearchHooks(on_search_complete=self.search_complete, observer=self)
 
 
+@dataclass(frozen=True)
+class _EngineState:
+    """One immutable (database, fingerprint, engine) generation.
+
+    Requests snapshot ``self._state`` once and use the snapshot
+    throughout, so a concurrent :meth:`QueryService.reload` can never
+    pair an old fingerprint with a new engine (the race RA101 surfaced
+    when these lived in three separate attributes).
+    """
+
+    loaded: LoadedDatabase
+    fingerprint: str
+    engine: XKeyword
+
+
 class QueryService:
     """One loaded database behind caching, admission control and metrics.
 
@@ -126,11 +148,14 @@ class QueryService:
         self._instrumentation = _EngineInstrumentation(self.registry)
         self._engine_factory = engine_factory or (
             lambda db, hooks: XKeyword(
-                db, threads=self.config.engine_threads, hooks=hooks
+                db,
+                threads=self.config.engine_threads,
+                hooks=hooks,
+                verifier=DebugVerifier() if self.config.debug_verify else None,
             )
         )
         self._swap_lock = threading.Lock()
-        self._install(loaded)
+        self._state = self._build_state(loaded)  # guarded by: self._swap_lock [writes]
         self.cache = QueryCache(
             capacity=self.config.cache_capacity, ttl=self.config.cache_ttl
         )
@@ -162,21 +187,37 @@ class QueryService:
             "repro_deadline_exceeded_total", "Requests that missed their deadline"
         )
 
-    def _install(self, loaded: LoadedDatabase) -> None:
-        self.loaded = loaded
-        self.fingerprint = loaded.fingerprint()
-        self.engine = self._engine_factory(loaded, self._instrumentation.hooks())
+    def _build_state(self, loaded: LoadedDatabase) -> _EngineState:
+        return _EngineState(
+            loaded=loaded,
+            fingerprint=loaded.fingerprint(),
+            engine=self._engine_factory(loaded, self._instrumentation.hooks()),
+        )
+
+    # Read-only views of the current generation; in-flight requests must
+    # snapshot self._state once instead of reading these repeatedly.
+    @property
+    def loaded(self) -> LoadedDatabase:
+        return self._state.loaded
+
+    @property
+    def fingerprint(self) -> str:
+        return self._state.fingerprint
+
+    @property
+    def engine(self) -> XKeyword:
+        return self._state.engine
 
     # ------------------------------------------------------------------
     def reload(self, loaded: LoadedDatabase) -> dict:
         """Swap the served database and invalidate its cached results."""
         with self._swap_lock:
-            previous = self.fingerprint
-            self._install(loaded)
+            previous = self._state.fingerprint
+            self._state = self._build_state(loaded)
             dropped = self.cache.invalidate(previous)
             return {
                 "previous_fingerprint": previous,
-                "fingerprint": self.fingerprint,
+                "fingerprint": self._state.fingerprint,
                 "cache_entries_dropped": dropped,
             }
 
@@ -198,7 +239,10 @@ class QueryService:
         query = KeywordQuery(tuple(keywords), max_size=max_size)
         mode = "all" if all_results else "topk"
         k = None if all_results else (k if k is not None else self.config.default_k)
-        key = query_cache_key(self.fingerprint, query, k, mode)
+        # One snapshot for the whole request: the cache key's fingerprint
+        # must describe the engine that actually computes the result.
+        state = self._state
+        key = query_cache_key(state.fingerprint, query, k, mode)
         started = time.perf_counter()
         cached = self.cache.get(key)
         if cached is not None:
@@ -208,8 +252,8 @@ class QueryService:
 
         def execute() -> SearchResult:
             if all_results:
-                return self.engine.search_all(query)
-            return self.engine.search(query, k=k)
+                return state.engine.search_all(query)
+            return state.engine.search(query, k=k)
 
         result = self.admission.run(execute, deadline=deadline)
         self.cache.put(key, result)
@@ -286,7 +330,7 @@ class QueryService:
 
         def execute() -> dict:
             query = KeywordQuery(tuple(keywords), max_size=max_size)
-            engine = self.engine
+            engine = self._state.engine
             containing = engine.containing_lists(query)
             ctssns = engine.candidate_tss_networks(query, containing)
             if not ctssns:
@@ -342,12 +386,13 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
+        state = self._state
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
-            "database_fingerprint": self.fingerprint,
-            "catalog": self.loaded.catalog.name,
-            "stores": sorted(self.loaded.stores),
+            "database_fingerprint": state.fingerprint,
+            "catalog": state.loaded.catalog.name,
+            "stores": sorted(state.loaded.stores),
             "queue_depth": self.admission.queue_depth(),
             "in_flight": self.admission.in_flight,
             "cache_entries": len(self.cache),

@@ -26,7 +26,7 @@ class EdgeKind(enum.Enum):
         return f"EdgeKind.{self.name}"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Node:
     """A node of the XML graph.
 
@@ -48,7 +48,7 @@ class Node:
         return f"{self.label}#{self.node_id}[{self.value}]"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Edge:
     """A directed edge of the XML graph."""
 
