@@ -1,0 +1,7 @@
+"""Seeded RA001: core reaching up into service (a layering back-edge)."""
+
+from repro.service.server import QueryService
+
+
+def peek() -> type:
+    return QueryService

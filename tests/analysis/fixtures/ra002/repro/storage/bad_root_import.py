@@ -1,0 +1,7 @@
+"""Seeded RA002: a subpackage importing the package root."""
+
+import repro
+
+
+def version() -> str:
+    return str(repro)

@@ -1,0 +1,26 @@
+"""Seeded RA101: guarded attributes touched without the lock."""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._count = 0  # guarded by: self._lock
+        self._published = None  # guarded by: self._lock [writes]
+        self._lock = threading.Lock()
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self._count += 1  # fine: lock held
+
+    def racy_increment(self) -> None:
+        self._count += 1  # RA101: write without the lock
+
+    def racy_read(self) -> int:
+        return self._count  # RA101: read without the lock
+
+    def racy_publish(self, value) -> None:
+        self._published = value  # RA101: [writes] demands the lock
+
+    def free_read(self):
+        return self._published  # fine: [writes] reads are lock-free

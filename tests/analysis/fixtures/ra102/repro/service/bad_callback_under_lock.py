@@ -1,0 +1,24 @@
+"""Seeded RA102: callback invocation and I/O while holding a lock."""
+
+import threading
+
+
+class Notifier:
+    def __init__(self, observer) -> None:
+        self.observer = observer
+        self._lock = threading.Lock()
+
+    def on_done(self) -> None:
+        pass
+
+    def finish(self) -> None:
+        with self._lock:
+            self.on_done()  # RA102: callback under the lock
+
+    def report(self) -> None:
+        with self._lock:
+            self.observer.notify_listeners()  # RA102: foreign callback
+
+    def debug(self) -> None:
+        with self._lock:
+            print("still holding the lock")  # RA102: blocking I/O

@@ -1,0 +1,13 @@
+"""Seeded RA103: sleeping while holding a lock."""
+
+import threading
+import time
+
+
+class Throttler:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def pause(self) -> None:
+        with self._lock:
+            time.sleep(0.5)  # RA103: every other thread stalls too

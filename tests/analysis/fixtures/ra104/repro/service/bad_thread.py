@@ -1,0 +1,9 @@
+"""Seeded RA104: a non-daemon thread that would block shutdown."""
+
+import threading
+
+
+def start_worker(target) -> threading.Thread:
+    worker = threading.Thread(target=target)  # RA104: daemon not set
+    worker.start()
+    return worker

@@ -1,0 +1,11 @@
+"""Seeded RA201: mutable default arguments."""
+
+
+def collect(item, bucket=[]):  # RA201: default shared across calls
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table={}, *, tags=set()):  # RA201 twice more
+    table.setdefault(key, sorted(tags))
+    return table

@@ -1,0 +1,17 @@
+"""Seeded RA202: mutating a container while iterating it."""
+
+
+def prune(table: dict) -> None:
+    for key in table:
+        if not table[key]:
+            del table[key]  # RA202: dict mutated during iteration
+
+
+class Registry:
+    def __init__(self) -> None:
+        self.members: set = set()
+
+    def drop_stale(self) -> None:
+        for member in self.members:
+            if member.stale:
+                self.members.remove(member)  # RA202: set shrinks mid-loop

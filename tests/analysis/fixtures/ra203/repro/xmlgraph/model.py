@@ -1,0 +1,15 @@
+"""Seeded RA203: model dataclasses missing frozen/slots."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Node:  # RA203: neither frozen nor slots
+    node_id: str
+    label: str
+
+
+@dataclass(frozen=True)
+class Edge:  # RA203: frozen but no slots
+    source: str
+    target: str

@@ -1,0 +1,168 @@
+"""The level-1 lint: seeded fixtures per rule, silent on the clean tree."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import RULES, all_checkers, run_analysis
+from repro.analysis.__main__ import main as analysis_main
+from repro.analysis.layering import ALLOWED_IMPORTS
+from repro.analysis.source import parse_module
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).parent.parent.parent / "src" / "repro"
+
+SEEDED = {
+    "RA001": 1,
+    "RA002": 1,
+    "RA101": 3,
+    "RA102": 3,
+    "RA103": 1,
+    "RA104": 1,
+    "RA201": 3,
+    "RA202": 2,
+    "RA203": 2,
+}
+
+
+class TestSeededFixtures:
+    @pytest.mark.parametrize("rule", sorted(SEEDED))
+    def test_rule_catches_its_seeded_bug(self, rule):
+        findings = run_analysis(FIXTURES / rule.lower() / "repro")
+        matching = [f for f in findings if f.rule == rule]
+        assert len(matching) == SEEDED[rule], [f.render() for f in findings]
+
+    @pytest.mark.parametrize("rule", sorted(SEEDED))
+    def test_no_cross_talk(self, rule):
+        """A fixture seeds only its own rule (plus none from others)."""
+        findings = run_analysis(FIXTURES / rule.lower() / "repro")
+        assert {f.rule for f in findings} == {rule}, [f.render() for f in findings]
+
+    @pytest.mark.parametrize("rule", sorted(SEEDED))
+    def test_cli_exits_nonzero_on_fixture(self, rule, capsys):
+        assert analysis_main([str(FIXTURES / rule.lower() / "repro")]) == 1
+        out = capsys.readouterr().out
+        assert rule in out
+
+
+class TestCleanTree:
+    def test_src_tree_is_clean(self):
+        findings = run_analysis(SRC_ROOT)
+        assert findings == [], [f.render() for f in findings]
+
+    def test_cli_exits_zero_on_src_tree(self):
+        assert analysis_main([str(SRC_ROOT)]) == 0
+
+    def test_cli_default_root_is_the_package(self):
+        assert analysis_main([]) == 0
+
+
+class TestCliOptions:
+    def test_list_rules(self, capsys):
+        assert analysis_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule in RULES:
+            assert rule in out
+
+    def test_single_checker_selection(self):
+        assert analysis_main([str(FIXTURES / "ra201" / "repro"), "--checker", "layering"]) == 0
+
+    def test_unknown_checker_rejected(self):
+        assert analysis_main([str(SRC_ROOT), "--checker", "nope"]) == 2
+
+    def test_missing_root_rejected(self):
+        assert analysis_main([str(FIXTURES / "does-not-exist")]) == 2
+
+
+class TestSuppressions:
+    def test_ignore_specific_rule(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "noisy.py").write_text(
+            "def f(x=[]):  # analysis: ignore[RA201]\n    return x\n"
+        )
+        assert run_analysis(tmp_path / "repro") == []
+
+    def test_ignore_all_rules(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "noisy.py").write_text(
+            "import repro.service  # analysis: ignore\n"
+        )
+        assert run_analysis(tmp_path / "repro") == []
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "noisy.py").write_text(
+            "def f(x=[]):  # analysis: ignore[RA999]\n    return x\n"
+        )
+        findings = run_analysis(tmp_path / "repro")
+        assert [f.rule for f in findings] == ["RA201"]
+
+
+class TestLayeringResolution:
+    def test_relative_import_back_edge_detected(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text("from ..service import server\n")
+        findings = run_analysis(tmp_path / "repro")
+        assert [f.rule for f in findings] == ["RA001"]
+
+    def test_intra_package_relative_import_allowed(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text("from .sibling import helper\n")
+        assert run_analysis(tmp_path / "repro") == []
+
+    def test_function_scoped_import_counts(self, tmp_path):
+        root = tmp_path / "repro" / "storage"
+        root.mkdir(parents=True)
+        (root / "mod.py").write_text(
+            "def late():\n    from repro.core import engine\n    return engine\n"
+        )
+        findings = run_analysis(tmp_path / "repro")
+        assert [f.rule for f in findings] == ["RA001"]
+
+    def test_dag_has_no_cycles(self):
+        """The allow-list itself must be a DAG (sanity of the policy)."""
+        state: dict[str, int] = {}
+
+        def visit(package: str) -> None:
+            state[package] = 1
+            for dep in ALLOWED_IMPORTS.get(package, ()):
+                assert state.get(dep) != 1, f"cycle through {package} -> {dep}"
+                if dep not in state:
+                    visit(dep)
+            state[package] = 2
+
+        for package in ALLOWED_IMPORTS:
+            if package not in state:
+                visit(package)
+
+    def test_dotted_names(self, tmp_path):
+        root = tmp_path / "repro" / "core"
+        root.mkdir(parents=True)
+        (root / "__init__.py").write_text("")
+        (root / "engine.py").write_text("")
+        module = parse_module(root / "engine.py", tmp_path / "repro")
+        assert module.name == "repro.core.engine"
+        assert module.package == "core"
+        package = parse_module(root / "__init__.py", tmp_path / "repro")
+        assert package.name == "repro.core"
+        assert package.package == "core"
+
+
+class TestCheckerProtocol:
+    def test_every_checker_declares_rules(self):
+        declared = set()
+        for checker in all_checkers():
+            assert checker.name
+            assert checker.rules
+            declared.update(checker.rules)
+        assert declared == {rule for rule in RULES if rule.startswith("RA")}
+
+    def test_rv_rules_documented(self):
+        assert {rule for rule in RULES if rule.startswith("RV")} == {
+            f"RV{n}" for n in range(301, 311)
+        }

@@ -3,8 +3,6 @@
 import pytest
 
 from repro.core import (
-    ExecutionMetrics,
-    ExecutorConfig,
     KeywordQuery,
     OnDemandNavigator,
     XKeyword,

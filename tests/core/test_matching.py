@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import ContainingLists, KeywordQuery, WitnessConstraint
-from repro.core.engine import XKeyword
 
 
 @pytest.fixture(scope="module")

@@ -13,7 +13,7 @@ from repro.decomposition import (
     minimal_decomposition,
     xkeyword_decomposition,
 )
-from repro.storage import RelationStore, load_database
+from repro.storage import load_database
 
 
 @pytest.fixture(scope="module")

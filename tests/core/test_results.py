@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import KeywordQuery, XKeyword, node_network
-from repro.core.matching import ContainingLists
 
 
 @pytest.fixture(scope="module")

@@ -14,7 +14,7 @@ from repro.decomposition import (
     relation_satisfies_fd,
     relation_satisfies_mvd,
 )
-from repro.storage import build_target_object_graph, fragment_instances
+from repro.storage import fragment_instances
 
 
 def frag(labels, edges):

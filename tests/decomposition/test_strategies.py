@@ -130,7 +130,7 @@ class TestTheorem52:
         """Theorem 5.2 on a star-shaped TSS graph: with M = L(B+1), every
         size-L fragment is required (dropping any one breaks coverage of
         some size-M network)."""
-        from repro.schema import NodeType, SchemaGraph, derive_tss_graph
+        from repro.schema import SchemaGraph, derive_tss_graph
         from repro.decomposition import (
             enumerate_fragments,
             star_fragments_required,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.decomposition import Fragment, NetEdge, enumerate_fragments
 from repro.decomposition.unfolding import (
-    UnfoldedGraph,
     embeds_in_unfolding,
     is_subgraph_of_unfolding,
     tree_walks,

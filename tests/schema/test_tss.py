@@ -3,14 +3,12 @@
 import pytest
 
 from repro.schema import (
-    NodeType,
     SchemaError,
     SchemaGraph,
     UNBOUNDED,
     derive_tss_graph,
     edges_conflict_at_source,
 )
-from repro.xmlgraph import EdgeKind
 
 
 class TestDerivation:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.schema import NodeType, SchemaGraph, UNBOUNDED
+from repro.schema import SchemaGraph, UNBOUNDED
 from repro.schema.xsd import XSDError, export_xsd, parse_xsd
 from repro.xmlgraph import EdgeKind
 

@@ -112,3 +112,73 @@ class TestThreadSafety:
             thread.join()
         assert counter.value == 8000
         assert histogram.count == 8000
+
+    def test_histogram_stress_exact_totals(self):
+        """8 threads, varied values: no observation is lost or torn.
+
+        Every thread observes a deterministic value cycle spanning all
+        buckets, so the final per-bucket counts, sum and count are known
+        exactly; any RA101-style unlocked update would show up as a
+        discrepancy.
+        """
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "stress_seconds", buckets=(0.1, 1.0, 10.0)
+        )
+        values = (0.05, 0.5, 5.0, 50.0)
+        per_thread = 500
+        barrier = threading.Barrier(8)
+
+        def hammer():
+            barrier.wait()
+            for i in range(per_thread):
+                histogram.observe(values[i % len(values)])
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        expected_total = 8 * per_thread
+        expected_per_bucket = expected_total // len(values)
+        assert histogram.count == expected_total
+        assert histogram.sum == pytest.approx(
+            8 * sum(values) * (per_thread // len(values))
+        )
+        assert histogram._counts == [expected_per_bucket] * len(values)
+        assert histogram.quantile(0.5) == 1.0
+
+    def test_histogram_render_is_consistent_under_writes(self):
+        """Concurrent render() snapshots are internally consistent.
+
+        render() takes one snapshot under the lock, so in every emitted
+        block the +Inf bucket, _count and the cumulative bucket chain
+        must agree even while writers are mid-flight.
+        """
+        registry = MetricsRegistry()
+        histogram = registry.histogram("busy_seconds", buckets=(1.0,))
+        stop = threading.Event()
+
+        def writer():
+            while not stop.is_set():
+                histogram.observe(0.5)
+                histogram.observe(2.0)
+
+        writers = [threading.Thread(target=writer, daemon=True) for _ in range(7)]
+        for thread in writers:
+            thread.start()
+        try:
+            for _ in range(200):
+                lines = histogram.render()
+                values = {}
+                for line in lines:
+                    name, number = line.rsplit(" ", 1)
+                    values[name] = float(number)
+                total = values['busy_seconds_bucket{le="+Inf"}']
+                assert values["busy_seconds_count"] == total
+                assert values['busy_seconds_bucket{le="1"}'] <= total
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join()

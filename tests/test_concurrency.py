@@ -2,7 +2,6 @@
 
 import threading
 
-import pytest
 
 from repro.core import KeywordQuery, ResultCache, XKeyword
 

@@ -10,7 +10,6 @@ from repro.core import ExecutorConfig, KeywordQuery, XKeyword
 from repro.decomposition import (
     Fragment,
     NetEdge,
-    classify_fragment,
     fragment_fds,
     has_genuine_mvd,
     minimal_decomposition,
@@ -191,3 +190,58 @@ class TestCachedVsNaiveRandomQueries:
         assert {(m.ctssn.canonical_key, m.assignment) for m in cached.mttons} == {
             (m.ctssn.canonical_key, m.assignment) for m in naive.mttons
         }
+
+
+class TestDebugVerifyMode:
+    """The ``debug_verify`` engine mode passes on every real query.
+
+    The DebugVerifier raises on any CN/CTSSN/plan invariant violation
+    (rules RV301-RV310), so identical results with and without it proves
+    both that the pipeline maintains the paper's invariants and that
+    verification is observation-only.
+    """
+
+    @given(seed=st.integers(0, 1_000))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    def test_random_queries_verify_clean(
+        self, small_dblp_db, small_dblp_graph, seed
+    ):
+        from repro.analysis.plans import DebugVerifier
+
+        rng = random.Random(seed)
+        keywords = author_keywords(small_dblp_graph, rng, 2)
+        query = KeywordQuery(tuple(keywords), max_size=5)
+        verified = XKeyword(small_dblp_db, verifier=DebugVerifier())
+        plain = XKeyword(small_dblp_db)
+        checked = verified.search_all(query, parallel=False)
+        baseline = plain.search_all(query, parallel=False)
+        assert {(m.ctssn.canonical_key, m.assignment) for m in checked.mttons} == {
+            (m.ctssn.canonical_key, m.assignment) for m in baseline.mttons
+        }
+
+    def test_figure1_query_verifies_clean(self, figure1_db):
+        from repro.analysis.plans import DebugVerifier
+
+        engine = XKeyword(figure1_db, verifier=DebugVerifier())
+        result = engine.search_all(
+            KeywordQuery.of("us", "vcr", max_size=4), parallel=False
+        )
+        assert result.mttons
+
+    def test_service_debug_verify_config(self, small_dblp_db):
+        from repro.service import QueryService, ServiceConfig
+
+        service = QueryService(
+            small_dblp_db, ServiceConfig(debug_verify=True, workers=2)
+        )
+        try:
+            assert isinstance(service.engine.verifier, object)
+            assert service.engine.verifier is not None
+            response = service.search("smith", k=3)
+            assert response["results"] is not None
+        finally:
+            service.close()

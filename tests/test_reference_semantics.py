@@ -11,7 +11,6 @@ import pytest
 from repro.baselines.exhaustive import ExhaustiveSearcher
 from repro.core import KeywordQuery, XKeyword
 from repro.decomposition import minimal_decomposition
-from repro.schema import dblp_catalog
 from repro.storage import load_database
 from repro.workloads import DBLPConfig, generate_dblp
 

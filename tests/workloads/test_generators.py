@@ -4,9 +4,8 @@ import random
 
 import pytest
 
-from repro.core import KeywordQuery
 from repro.schema import validate
-from repro.storage import Database, MasterIndex, build_target_object_graph
+from repro.storage import build_target_object_graph
 from repro.workloads import (
     DBLPConfig,
     TPCHConfig,
@@ -18,7 +17,6 @@ from repro.workloads import (
     person_keywords,
     title_keywords,
 )
-from repro.xmlgraph import EdgeKind
 
 
 class TestDBLPGenerator:
