@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import pytest
 
-import common
 from repro.core import CNGenerator, KeywordQuery
 from repro.schema import dblp_catalog, tpch_catalog
 

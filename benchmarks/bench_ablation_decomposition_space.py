@@ -16,7 +16,7 @@ import pytest
 import common
 from repro.decomposition import FragmentClass, classify_fragment
 from repro.schema import dblp_catalog
-from repro.storage import Database, RelationStore, build_target_object_graph
+from repro.storage import Database, RelationStore
 
 
 @pytest.fixture(scope="module")

@@ -24,7 +24,7 @@ from repro.decomposition import (
 )
 from repro.schema import dblp_catalog
 from repro.storage import LoadedDatabase, load_database
-from repro.workloads import DBLPConfig, author_keywords, co_occurring_queries, generate_dblp
+from repro.workloads import DBLPConfig, generate_dblp
 
 
 @dataclass(frozen=True)

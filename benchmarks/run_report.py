@@ -20,7 +20,7 @@ sys.path.insert(0, str(Path(__file__).parent))
 
 import common
 from repro.baselines import BanksSearcher
-from repro.core import CTSSNExecutor, ExecutorConfig, OnDemandNavigator, XKeyword
+from repro.core import XKeyword
 from repro.decomposition import FragmentClass, classify_fragment
 from repro.schema import dblp_catalog
 from repro.storage import Database, RelationStore
