@@ -1,0 +1,82 @@
+"""Overhead of per-query tracing on the Figure 15(a) workload.
+
+Tracing follows the null-object pattern: an engine without a tracer runs
+the identical code path, but every span operation is a no-op on the
+shared :data:`repro.trace.NULL_TRACE` / :data:`repro.trace.NULL_SPAN`
+singletons and the executor skips lookup recording entirely (its span is
+``None``).  The design target is <2% overhead when disabled, so tracing
+can default **on** in the HTTP service and the CLI can offer
+``--explain`` without a separate "instrumented build".
+
+* ``pipeline/disabled`` vs ``pipeline/enabled``: the full query pipeline
+  (containing lists through top-10 execution) with the null tracer vs a
+  real :class:`repro.trace.Tracer` recording the span tree.  The
+  disabled-vs-baseline delta is the cost of the hook *seams*; the
+  enabled delta is the cost of actually recording.
+* ``render-only``: serializing an already-recorded trace to the
+  ``--explain`` text and the ``/debug/trace`` JSON, isolating the
+  presentation cost (paid only when somebody asks).
+
+Run:  pytest benchmarks/bench_trace_overhead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import common
+from repro.core import XKeyword
+from repro.trace import Tracer, TraceStore
+
+K = 10
+DECOMPOSITION = "XKeyword"
+
+
+def make_engine(traced: bool) -> XKeyword:
+    tracer = Tracer(TraceStore(capacity=256)) if traced else None
+    return XKeyword(
+        common.bench_database(),
+        store_priority=[DECOMPOSITION],
+        tracer=tracer,
+    )
+
+
+def run_pipeline(engine: XKeyword) -> int:
+    """The whole query path: every span seam sits on it."""
+    produced = 0
+    for query in common.bench_queries(max_size=8):
+        result = engine.search(query, k=K, parallel=False)
+        produced += len(result.mttons)
+    return produced
+
+
+@pytest.mark.parametrize("mode", ("disabled", "enabled"))
+def test_pipeline_overhead(benchmark, mode):
+    benchmark.group = f"trace-overhead-top{K:02d}"
+    benchmark.name = f"pipeline/{mode}"
+    engine = make_engine(traced=mode == "enabled")
+    produced = benchmark(run_pipeline, engine)
+    assert produced > 0
+    if mode == "enabled":
+        assert engine.tracer.last is not None
+
+
+def test_render_only(benchmark):
+    """Presentation cost: text + JSON for pre-recorded traces."""
+    benchmark.group = f"trace-overhead-top{K:02d}"
+    benchmark.name = "render-only"
+    engine = make_engine(traced=True)
+    traces = []
+    for query in common.bench_queries(max_size=8):
+        engine.search(query, k=K, parallel=False)
+        traces.append(engine.tracer.last)
+
+    def render_all() -> int:
+        rendered = 0
+        for trace in traces:
+            rendered += len(trace.render())
+            rendered += len(trace.to_dict()["root"])
+        return rendered
+
+    rendered = benchmark(render_all)
+    assert rendered > 0

@@ -15,34 +15,7 @@ Run:  python examples/tpch_paper_example.py
 from __future__ import annotations
 
 from repro import KeywordQuery, XKeyword, load_database, minimal_decomposition, parse_xml, tpch_catalog
-
-FIGURE1_XML = """
-<xmlgraph>
-  <person id="p1"><pname>John</pname><nation>US</nation></person>
-  <person id="p2">
-    <pname>Mike</pname><nation>US</nation>
-    <order id="o1"><o_date>2002-10-01</o_date>
-      <lineitem id="l1"><quantity>10</quantity><ship>2002-10-15</ship>
-        <supplier ref="p1"/><line ref="pa3"/></lineitem>
-      <lineitem id="l2"><quantity>10</quantity><ship>2002-10-22</ship>
-        <supplier ref="p1"/><line ref="pa3"/></lineitem>
-    </order>
-    <order id="o2"><o_date>2002-11-02</o_date>
-      <lineitem id="l3"><quantity>6</quantity><ship>2002-10-03</ship>
-        <supplier ref="p1"/><line ref="pr1"/></lineitem>
-    </order>
-    <service_call id="sc1" ref="pr1">
-      <sc_date>2002-11-20</sc_date><sc_descr>DVD error</sc_descr>
-    </service_call>
-  </person>
-  <part id="pa3"><pa_key>1005</pa_key><pa_name>TV</pa_name>
-    <sub><part id="pa1"><pa_key>1008</pa_key><pa_name>VCR</pa_name></part></sub>
-    <sub><part id="pa2"><pa_key>1009</pa_key><pa_name>VCR</pa_name></part></sub>
-  </part>
-  <product id="pr1"><prodkey>2005</prodkey>
-    <pr_descr>set of VCR and DVD</pr_descr></product>
-</xmlgraph>
-"""
+from repro.workloads import figure1_document
 
 
 def show(result) -> None:
@@ -59,7 +32,7 @@ def main() -> None:
     # Drop the wrapper root so persons and parts are unrelated roots,
     # exactly as the paper prescribes (Section 3: the root would provide
     # an artificial connection between unrelated first-level elements).
-    graph = parse_xml(FIGURE1_XML, ParseOptions(drop_root=True))
+    graph = parse_xml(figure1_document(), ParseOptions(drop_root=True))
 
     loaded = load_database(graph, catalog, [minimal_decomposition(catalog.tss)])
     engine = XKeyword(loaded)

@@ -2,13 +2,15 @@
 
 The repository's layering is::
 
-    xmlgraph, schema  ->  decomposition  ->  storage  ->  core
-                                                           |
-                         baselines, workloads  (alongside core)
-                                                           v
-                                      analysis  ->  service
+    xmlgraph, schema, trace  ->  decomposition  ->  storage  ->  core
+                                                                  |
+                                baselines, workloads  (alongside core)
+                                                                  v
+                                             analysis  ->  service
 
-Lower layers must never import higher ones — in particular ``core`` must
+(``trace`` has no dependencies at all — it sits at the bottom so that
+``core`` can open spans and ``service`` can store them without any
+back-edge.)  Lower layers must never import higher ones — in particular ``core`` must
 never import ``service`` (the engine stays embeddable) and nothing below
 ``analysis`` may depend on the linter.  Top-level modules (``cli``,
 ``__main__``, the package ``__init__``) sit above everything and may
@@ -28,9 +30,12 @@ from .source import Module
 ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
     "xmlgraph": frozenset(),
     "schema": frozenset({"xmlgraph"}),
+    "trace": frozenset(),
     "decomposition": frozenset({"schema", "xmlgraph"}),
     "storage": frozenset({"decomposition", "schema", "xmlgraph"}),
-    "core": frozenset({"storage", "decomposition", "schema", "xmlgraph"}),
+    "core": frozenset(
+        {"storage", "decomposition", "schema", "trace", "xmlgraph"}
+    ),
     "baselines": frozenset(
         {"core", "storage", "decomposition", "schema", "xmlgraph"}
     ),
@@ -47,7 +52,15 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
         }
     ),
     "service": frozenset(
-        {"analysis", "core", "decomposition", "schema", "storage", "xmlgraph"}
+        {
+            "analysis",
+            "core",
+            "decomposition",
+            "schema",
+            "storage",
+            "trace",
+            "xmlgraph",
+        }
     ),
 }
 

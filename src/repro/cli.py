@@ -3,17 +3,20 @@
 Usage::
 
     python -m repro generate --catalog dblp --out dblp.xml --papers 300
+    python -m repro generate --catalog tpch --figure1 --out fig1.xml
     python -m repro search --catalog dblp --xml dblp.xml "smith chen" -k 10
-    python -m repro search --catalog dblp --demo "smith" -k 5
+    python -m repro search --catalog tpch --xml fig1.xml "john vcr" --explain
     python -m repro explain --catalog dblp --demo "smith chen"
     python -m repro serve --catalog dblp --demo --port 8080
 
 ``search`` loads the XML into an in-memory SQLite database (the load
 stage), runs the keyword query, and prints ranked MTTONs with their
-semantically annotated connections.  ``explain`` stops after planning
-and prints the candidate networks and execution plans instead.
-``serve`` loads once and answers queries over HTTP/JSON until
-interrupted (see :mod:`repro.service`).
+semantically annotated connections; ``--explain`` additionally prints
+the recorded span tree (stage timings, per-CN plans, estimated vs.
+actual cardinality, per-relation lookups).  ``explain`` stops after
+planning and prints the candidate networks and execution plans without
+executing anything.  ``serve`` loads once and answers queries over
+HTTP/JSON until interrupted (see :mod:`repro.service`).
 """
 
 from __future__ import annotations
@@ -50,6 +53,12 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--authors", type=int, default=80, help="dblp only")
     generate.add_argument("--citations", type=float, default=5.0, help="dblp only")
     generate.add_argument("--persons", type=int, default=20, help="tpch only")
+    generate.add_argument(
+        "--figure1",
+        action="store_true",
+        help="emit the paper's Figure 1 example instead of synthetic data "
+        "(tpch only; the 'john vcr' / 'us vcr' queries work on it)",
+    )
 
     for name, help_text in (
         ("search", "run a keyword query and print ranked results"),
@@ -79,6 +88,14 @@ def _build_parser() -> argparse.ArgumentParser:
             dest="debug_verify",
             help="verify CN/CTSSN/plan invariants (RV301-RV310) before executing",
         )
+        if name == "search":
+            sub.add_argument(
+                "--explain",
+                action="store_true",
+                help="print the recorded span tree (stages, plans, "
+                "estimated vs. actual cardinality, per-relation lookups) "
+                "after the results",
+            )
         if name == "navigate":
             sub.add_argument(
                 "--cn",
@@ -132,16 +149,33 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="debug_verify",
         help="verify CN/CTSSN/plan invariants on every query (diagnostic)",
     )
+    serve.add_argument(
+        "--slow-query", type=float, default=1.0, dest="slow_query",
+        help="log searches slower than this many seconds with their "
+        "trace id (0 disables)",
+    )
+    serve.add_argument(
+        "--no-tracing",
+        action="store_true",
+        dest="no_tracing",
+        help="disable per-query span trees and the /debug/trace endpoints",
+    )
     return parser
 
 
 def _make_engine(args: argparse.Namespace, loaded: LoadedDatabase) -> XKeyword:
+    """Build the engine one command needs, honoring its debug flags."""
     verifier = None
     if getattr(args, "debug_verify", False):
         from .analysis.plans import DebugVerifier
 
         verifier = DebugVerifier()
-    return XKeyword(loaded, verifier=verifier)
+    tracer = None
+    if getattr(args, "explain", False):
+        from .trace import Tracer
+
+        tracer = Tracer()
+    return XKeyword(loaded, verifier=verifier, tracer=tracer)
 
 
 def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
@@ -167,6 +201,21 @@ def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
+    """Emit synthetic XML (or the hand-written Figure 1 example)."""
+    if args.figure1:
+        if args.catalog != "tpch":
+            print("--figure1 requires --catalog tpch", file=sys.stderr)
+            return 2
+        from .workloads import figure1_document
+
+        text = figure1_document()
+        if args.out == "-":
+            print(text, end="")
+        else:
+            with open(args.out, "w") as handle:
+                handle.write(text)
+            print(f"wrote the Figure 1 example to {args.out}", file=sys.stderr)
+        return 0
     if args.catalog == "dblp":
         graph = generate_dblp(
             DBLPConfig(
@@ -215,6 +264,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
         for edge in mtton.edges:
             label = edge.forward_label or edge.edge_id
             print(f"    {edge.source_to} --{label}--> {edge.target_to}")
+    if args.explain and result.trace is not None:
+        print()
+        print(result.trace.render())
     return 0 if result.mttons else 1
 
 
@@ -321,6 +373,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_entries,
         cache_ttl=args.cache_ttl or None,
         debug_verify=args.debug_verify,
+        tracing=not args.no_tracing,
+        slow_query_seconds=args.slow_query or None,
     )
     print(
         f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "

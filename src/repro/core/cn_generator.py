@@ -67,6 +67,7 @@ class CandidateNetwork:
         return self.network.canonical_key(extra)
 
     def keyword_roles(self) -> list[tuple[int, frozenset[str]]]:
+        """Return ``(role, keywords)`` pairs for keyword-annotated roles."""
         return [
             (role, keywords)
             for role, keywords in enumerate(self.annotations)
@@ -74,6 +75,7 @@ class CandidateNetwork:
         ]
 
     def covered_keywords(self) -> frozenset[str]:
+        """Union of all keywords this network's annotations cover."""
         covered: frozenset[str] = frozenset()
         for keywords in self.annotations:
             covered |= keywords

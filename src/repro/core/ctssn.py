@@ -43,6 +43,7 @@ class WitnessConstraint:
     keywords: frozenset[str]
 
     def sort_key(self) -> tuple[str, str]:
+        """Deterministic ordering key: (schema node, sorted keywords)."""
         return (self.schema_node, ",".join(sorted(self.keywords)))
 
     def __str__(self) -> str:
@@ -78,6 +79,7 @@ class CTSSN:
         return self.network.canonical_key(extra)
 
     def keyword_roles(self) -> list[tuple[int, tuple[WitnessConstraint, ...]]]:
+        """Return ``(role, constraints)`` pairs for constrained roles."""
         return [
             (role, constraints)
             for role, constraints in enumerate(self.annotations)
@@ -85,6 +87,7 @@ class CTSSN:
         ]
 
     def keywords_of_role(self, role: int) -> frozenset[str]:
+        """Union of the keywords constrained onto ``role``."""
         keywords: frozenset[str] = frozenset()
         for constraint in self.annotations[role]:
             keywords |= constraint.keywords

@@ -19,6 +19,7 @@ from typing import Callable, Mapping, Protocol, Sequence
 from ..schema.tss import TSSGraph
 from ..storage.decomposer import LoadedDatabase
 from ..storage.relations import RelationStore
+from ..trace import NULL_TRACER, QueryTrace, Span
 from .cn_generator import CandidateNetwork, CNGenerator
 from .ctssn import CTSSN, reduce_to_ctssn
 from .execution import (
@@ -29,7 +30,7 @@ from .execution import (
     ResultCache,
 )
 from .matching import ContainingLists
-from .optimizer import Optimizer, PlanningError
+from .optimizer import Optimizer
 from .plans import ExecutionPlan
 from .query import KeywordQuery
 from .results import MTTON, materialize
@@ -44,11 +45,16 @@ class SearchResult:
     metrics: ExecutionMetrics
     candidate_networks: list[CandidateNetwork] = field(default_factory=list)
     ctssns: list[CTSSN] = field(default_factory=list)
+    trace: QueryTrace | None = None
+    """The span tree recorded for this search, when a tracer was
+    installed on the engine (see :mod:`repro.trace`); ``None`` otherwise."""
 
     def top(self, count: int) -> list[MTTON]:
+        """First ``count`` ranked results."""
         return self.mttons[:count]
 
     def scores(self) -> list[int]:
+        """MTNN sizes of the ranked results, best first."""
         return [mtton.score for mtton in self.mttons]
 
     def page(self, number: int, per_page: int = 10) -> list[MTTON]:
@@ -105,15 +111,18 @@ class NetworkVerifier(Protocol):
     dependency pointing analysis -> core, never the reverse.
     """
 
-    def check_cn(self, cn: CandidateNetwork, keywords: Sequence[str]) -> None: ...
+    def check_cn(self, cn: CandidateNetwork, keywords: Sequence[str]) -> None:
+        """Verify one candidate network against ``keywords``."""
 
     def check_ctssn(
         self, ctssn: CTSSN, keywords: Sequence[str], tss_graph: TSSGraph
-    ) -> None: ...
+    ) -> None:
+        """Verify one candidate TSS network against its source CN."""
 
     def check_plan(
         self, plan: ExecutionPlan, stores: Mapping[str, RelationStore]
-    ) -> None: ...
+    ) -> None:
+        """Verify one execution plan against its CTSSN."""
 
 
 class XKeyword:
@@ -127,6 +136,7 @@ class XKeyword:
         threads: int = 4,
         hooks: SearchHooks | None = None,
         verifier: NetworkVerifier | None = None,
+        tracer=None,
     ) -> None:
         """
         Args:
@@ -140,6 +150,10 @@ class XKeyword:
             verifier: Optional invariant checker run on every CN, CTSSN
                 and plan before execution (``debug_verify`` mode); adds
                 per-query overhead, so serving defaults to ``None``.
+            tracer: Optional :class:`repro.trace.Tracer`; when set, every
+                search records a span tree onto ``SearchResult.trace``
+                (the EXPLAIN/``/debug/trace`` substrate).  ``None`` uses
+                the null tracer — the identical code path at no-op cost.
         """
         self.loaded = loaded
         names = store_priority or list(loaded.stores)
@@ -148,17 +162,20 @@ class XKeyword:
         self.threads = max(1, threads)
         self.hooks = hooks or SearchHooks()
         self.verifier = verifier
+        self.tracer = tracer or NULL_TRACER
         self.optimizer = Optimizer(self.stores, loaded.statistics)
 
     # ------------------------------------------------------------------
     # Pipeline stages, individually exposed for tests and examples
     # ------------------------------------------------------------------
     def containing_lists(self, query: KeywordQuery) -> ContainingLists:
+        """Stage 1 (Fig 7): keyword matching against the master index."""
         return ContainingLists.fetch(self.loaded.master_index, query)
 
     def candidate_networks(
         self, query: KeywordQuery, containing: ContainingLists | None = None
     ) -> list[CandidateNetwork]:
+        """Stage 2 (Fig 7): generate candidate networks on the schema graph."""
         containing = containing or self.containing_lists(query)
         generator = CNGenerator(self.loaded.catalog.schema, containing.schema_nodes())
         networks = generator.generate(query)
@@ -170,6 +187,7 @@ class XKeyword:
     def candidate_tss_networks(
         self, query: KeywordQuery, containing: ContainingLists | None = None
     ) -> list[CTSSN]:
+        """Stage 3 (Fig 7): reduce CNs to candidate TSS networks."""
         containing = containing or self.containing_lists(query)
         ctssns = [
             reduce_to_ctssn(cn, self.loaded.catalog.tss)
@@ -178,12 +196,25 @@ class XKeyword:
         self._verify_ctssns(ctssns, query)
         return ctssns
 
-    def plan(self, ctssn: CTSSN, containing: ContainingLists) -> ExecutionPlan:
+    def plan(
+        self,
+        ctssn: CTSSN,
+        containing: ContainingLists,
+        span: Span | None = None,
+    ) -> ExecutionPlan:
+        """Optimize one CTSSN into an execution plan.
+
+        Args:
+            ctssn: The candidate TSS network to plan.
+            containing: Containing lists (supply per-role costs).
+            span: Optional trace span the optimizer annotates with the
+                chosen relations, join count and anchor.
+        """
         role_costs = {
             role: len(containing.allowed_tos(constraints))
             for role, constraints in ctssn.keyword_roles()
         }
-        return self._verified_plan(self.optimizer.plan(ctssn, role_costs))
+        return self._verified_plan(self.optimizer.plan(ctssn, role_costs, span=span))
 
     def _verify_ctssns(self, ctssns: list[CTSSN], query: KeywordQuery) -> None:
         if self.verifier is not None:
@@ -285,20 +316,51 @@ class XKeyword:
         config = config or self.executor_config
         if self.hooks.on_search_start is not None:
             self.hooks.on_search_start(query)
+        trace = self.tracer.begin(
+            " ".join(query.keywords), k=limit, max_size=query.max_size
+        )
         started = time.perf_counter()
-        containing = self.containing_lists(query)
         metrics = ExecutionMetrics()
         result = SearchResult(query, [], metrics)
+        if trace.enabled:
+            result.trace = trace  # type: ignore[assignment]
+
+        span = trace.span("matching")
+        stage_started = time.perf_counter()
+        containing = self.containing_lists(query)
+        metrics.record_stage("matching", time.perf_counter() - stage_started)
+        span.annotate(
+            target_objects={
+                keyword: len(containing.keyword_tos[keyword])
+                for keyword in query.keywords
+            }
+        )
+        span.finish()
         if any(not containing.keyword_tos[k] for k in query.keywords):
-            return self._finish(query, result, started)
+            return self._finish(query, result, started, trace)
+
+        span = trace.span("cn_generation")
+        stage_started = time.perf_counter()
         result.candidate_networks = self.candidate_networks(query, containing)
+        metrics.record_stage("cn_generation", time.perf_counter() - stage_started)
+        span.annotate(networks=len(result.candidate_networks))
+        span.finish()
+
+        span = trace.span("ctssn_reduction")
+        stage_started = time.perf_counter()
         result.ctssns = [
             reduce_to_ctssn(cn, self.loaded.catalog.tss)
             for cn in result.candidate_networks
         ]
         self._verify_ctssns(result.ctssns, query)
+        metrics.record_stage("ctssn_reduction", time.perf_counter() - stage_started)
+        span.annotate(ctssns=len(result.ctssns))
+        span.finish()
+
         # Smaller CNs first (cheaper and higher ranked, per the paper);
-        # ties broken by the statistics-estimated result count.
+        # ties broken by the statistics-estimated result count.  The
+        # estimates are kept so EXPLAIN can show estimated vs. actual
+        # cardinality per candidate network.
         role_costs_of = {
             ctssn.canonical_key: {
                 role: len(containing.allowed_tos(constraints))
@@ -306,13 +368,15 @@ class XKeyword:
             }
             for ctssn in result.ctssns
         }
+        estimates = {
+            ctssn.canonical_key: self.optimizer.estimate_results(
+                ctssn, role_costs_of[ctssn.canonical_key]
+            )
+            for ctssn in result.ctssns
+        }
         ordered = sorted(
             result.ctssns,
-            key=lambda c: (
-                c.score,
-                self.optimizer.estimate_results(c, role_costs_of[c.canonical_key]),
-                c.canonical_key,
-            ),
+            key=lambda c: (c.score, estimates[c.canonical_key], c.canonical_key),
         )
         lookup_cache = ResultCache(config.cache_capacity)
 
@@ -324,10 +388,22 @@ class XKeyword:
             local_metrics = ExecutionMetrics()
             if stop.is_set():
                 return local_metrics
+            cn_span = trace.span(
+                "cn",
+                network=ctssn.canonical_key,
+                score=ctssn.score,
+                estimated_results=round(estimates[ctssn.canonical_key], 2),
+            )
+            plan_span = cn_span.child("plan")
+            stage_started = time.perf_counter()
             try:
-                plan = self.plan(ctssn, containing)
-            except PlanningError:
-                raise
+                plan = self.plan(ctssn, containing, span=plan_span)
+            finally:
+                local_metrics.record_stage(
+                    "planning", time.perf_counter() - stage_started
+                )
+                plan_span.finish()
+            execute_span = cn_span.child("execute")
             executor = CTSSNExecutor(
                 plan,
                 self.stores,
@@ -336,15 +412,33 @@ class XKeyword:
                 metrics=local_metrics,
                 lookup_cache=lookup_cache,
                 observer=self.hooks.observer,
+                span=execute_span if trace.enabled else None,
             )
-            for row in executor.run(limit=limit):
-                mtton = materialize(ctssn, row, self.loaded.to_graph)
-                with lock:
-                    collected.append(mtton)
-                    if limit is not None and len(collected) >= limit:
-                        stop.set()
-                if stop.is_set():
-                    break
+            produced = 0
+            stage_started = time.perf_counter()
+            try:
+                for row in executor.run(limit=limit):
+                    mtton = materialize(ctssn, row, self.loaded.to_graph)
+                    produced += 1
+                    with lock:
+                        collected.append(mtton)
+                        if limit is not None and len(collected) >= limit:
+                            stop.set()
+                    if stop.is_set():
+                        break
+            finally:
+                local_metrics.record_stage(
+                    "execution", time.perf_counter() - stage_started
+                )
+                execute_span.annotate(
+                    results=produced,
+                    queries_sent=local_metrics.queries_sent,
+                    cache_hits=local_metrics.cache_hits,
+                    cache_misses=local_metrics.cache_misses,
+                )
+                execute_span.finish()
+                cn_span.annotate(actual_results=produced)
+                cn_span.finish()
             return local_metrics
 
         if parallel and len(ordered) > 1:
@@ -361,11 +455,21 @@ class XKeyword:
         if limit is not None:
             collected = collected[:limit]
         result.mttons = collected
-        return self._finish(query, result, started)
+        return self._finish(query, result, started, trace)
 
     def _finish(
-        self, query: KeywordQuery, result: SearchResult, started: float
+        self,
+        query: KeywordQuery,
+        result: SearchResult,
+        started: float,
+        trace=None,
     ) -> SearchResult:
+        if trace is not None:
+            trace.root.annotate(
+                results=len(result.mttons),
+                candidate_networks=len(result.candidate_networks),
+            )
+            self.tracer.finish(trace)
         if self.hooks.on_search_complete is not None:
             self.hooks.on_search_complete(
                 query, result, time.perf_counter() - started

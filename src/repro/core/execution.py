@@ -27,10 +27,11 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 from ..storage.relations import RelationStore
+from ..trace import Span
 from .matching import ContainingLists
 from .plans import ExecutionPlan, PlanStep
 
@@ -47,13 +48,25 @@ class ExecutionMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     results: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+    """Wall-clock seconds per pipeline stage (``matching``,
+    ``cn_generation``, ``ctssn_reduction``, ``planning``, ``execution``).
+    Always recorded — independent of tracing — and merged additively, so
+    the service can export per-stage latency histograms."""
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock time against one pipeline stage."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
 
     def merge(self, other: "ExecutionMetrics") -> None:
+        """Fold another metrics object into this one (all fields add)."""
         self.queries_sent += other.queries_sent
         self.rows_fetched += other.rows_fetched
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.results += other.results
+        for stage, seconds in other.stage_seconds.items():
+            self.record_stage(stage, seconds)
 
 
 class ResultCache:
@@ -77,6 +90,7 @@ class ResultCache:
         self._lock = threading.Lock()
 
     def get(self, key: tuple) -> list[ResultRow] | None:
+        """Return the cached rows for ``key``, or ``None`` on a miss."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is not None:
@@ -84,6 +98,7 @@ class ResultCache:
             return entry
 
     def put(self, key: tuple, value: list[ResultRow]) -> None:
+        """Cache ``value`` under ``key``, evicting LRU entries past capacity."""
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -125,14 +140,17 @@ class _SqlAccess:
         metrics: ExecutionMetrics,
         lookup_cache: "ResultCache | None" = None,
         observer: "ExecutionObserver | None" = None,
+        span: "Span | None" = None,
     ):
         self._store = store
         self._fragment = step.piece.fragment
         self._metrics = metrics
         self._lookup_cache = lookup_cache
         self._observer = observer
+        self._span = span
 
     def lookup(self, bindings: dict[str, str]) -> list[tuple[str, ...]]:
+        """One focused query (or a shared-cache replay) for the bindings."""
         key = None
         if self._lookup_cache is not None:
             key = (self._fragment.relation_name, tuple(sorted(bindings.items())))
@@ -143,6 +161,10 @@ class _SqlAccess:
                     self._observer.on_query(
                         self._fragment.relation_name, len(cached), True
                     )
+                if self._span is not None:
+                    self._span.record_lookup(
+                        self._fragment.relation_name, len(cached), True
+                    )
                 return cached  # type: ignore[return-value]
         self._metrics.queries_sent += 1
         rows = self._store.lookup(self._fragment, bindings)
@@ -151,6 +173,8 @@ class _SqlAccess:
             self._lookup_cache.put(key, rows)  # type: ignore[arg-type]
         if self._observer is not None:
             self._observer.on_query(self._fragment.relation_name, len(rows), False)
+        if self._span is not None:
+            self._span.record_lookup(self._fragment.relation_name, len(rows), False)
         return rows
 
 
@@ -162,19 +186,32 @@ class _HashAccess:
     pays the scan, later probes are dictionary lookups.
     """
 
-    def __init__(self, store: RelationStore, step: PlanStep, metrics: ExecutionMetrics):
+    def __init__(
+        self,
+        store: RelationStore,
+        step: PlanStep,
+        metrics: ExecutionMetrics,
+        span: "Span | None" = None,
+    ):
         self._store = store
         self._fragment = step.piece.fragment
         self._metrics = metrics
         self._scanned = False
+        self._span = span
 
     def _ensure_scan(self) -> list[tuple[str, ...]]:
+        rows = self._store.scan_cached(self._fragment)
         if not self._scanned:
             self._metrics.queries_sent += 1
             self._scanned = True
-        return self._store.scan_cached(self._fragment)
+            if self._span is not None:
+                self._span.record_lookup(
+                    self._fragment.relation_name, len(rows), False
+                )
+        return rows
 
     def lookup(self, bindings: dict[str, str]) -> list[tuple[str, ...]]:
+        """Probe the in-memory hash of the (once-scanned) relation."""
         rows = self._ensure_scan()
         if not bindings:
             return rows
@@ -215,7 +252,22 @@ class CTSSNExecutor:
         metrics: ExecutionMetrics | None = None,
         lookup_cache: ResultCache | None = None,
         observer: ExecutionObserver | None = None,
+        span: Span | None = None,
     ) -> None:
+        """
+        Args:
+            plan: The optimizer's execution plan for one CTSSN.
+            stores: Relation stores keyed by store name.
+            containing: Keyword containing lists (role admission filters).
+            config: Execution-mode switches; optimized+shared by default.
+            cache: Suffix (partial-result) cache, shareable across
+                executors; a private one is created when omitted.
+            metrics: Counter sink; a fresh one is created when omitted.
+            lookup_cache: Cross-CN shared relation-lookup cache.
+            observer: Service-layer instrumentation hooks.
+            span: Trace span receiving per-relation lookup provenance
+                (``None`` when tracing is disabled).
+        """
         self.plan = plan
         self.config = config or ExecutorConfig()
         self.metrics = metrics or ExecutionMetrics()
@@ -227,7 +279,7 @@ class CTSSNExecutor:
         self._cache_ns = plan.ctssn.canonical_key
         if self.config.hash_join:
             self._access: list = [
-                _HashAccess(stores[step.store_name], step, self.metrics)
+                _HashAccess(stores[step.store_name], step, self.metrics, span)
                 for step in plan.steps
             ]
         else:
@@ -238,6 +290,7 @@ class CTSSNExecutor:
                     self.metrics,
                     lookup_cache if self.config.share_lookups else None,
                     observer,
+                    span,
                 )
                 for step in plan.steps
             ]

@@ -23,6 +23,7 @@ from ..decomposition.cover import CoverPiece, min_cover
 from ..decomposition.fragments import Fragment
 from ..storage.relations import RelationStore
 from ..storage.statistics import Statistics
+from ..trace import Span
 from .ctssn import CTSSN
 from .plans import ExecutionPlan, PlanStep
 
@@ -77,6 +78,7 @@ class Optimizer:
         role_costs: dict[int, int] | None = None,
         anchor_role: int | None = None,
         max_joins: int | None = None,
+        span: Span | None = None,
     ) -> ExecutionPlan:
         """Build an execution plan for one candidate TSS network.
 
@@ -88,12 +90,22 @@ class Optimizer:
                 on-demand expansion algorithm, which anchors at the
                 clicked node's role).
             max_joins: Optional hard bound B on the join count.
+            span: Trace span annotated with the chosen anchor, relation
+                order, and the plan tree (``None`` when tracing is off).
         """
         network = ctssn.network
         if anchor_role is None:
             anchor_role = self._pick_anchor(ctssn, role_costs or {})
         if network.size == 0:
-            return ExecutionPlan(ctssn, (), anchor_role)
+            plan = ExecutionPlan(ctssn, (), anchor_role)
+            if span is not None:
+                span.annotate(
+                    anchor_role=anchor_role,
+                    joins=0,
+                    relations="-",
+                    detail=plan.describe(),
+                )
+            return plan
 
         universe = self._fragment_universe()
         store_of = {
@@ -115,7 +127,17 @@ class Optimizer:
             fragment.relation_name: store_name for fragment, store_name in universe
         }
         steps = self._order_pieces(ctssn, cover, anchor_role, store_by_relation)
-        return ExecutionPlan(ctssn, tuple(steps), anchor_role)
+        plan = ExecutionPlan(ctssn, tuple(steps), anchor_role)
+        if span is not None:
+            span.annotate(
+                anchor_role=anchor_role,
+                joins=max(0, len(steps) - 1),
+                relations=" -> ".join(
+                    step.piece.fragment.relation_name for step in steps
+                ),
+                detail=plan.describe(),
+            )
+        return plan
 
     # ------------------------------------------------------------------
     def estimate_results(

@@ -37,6 +37,7 @@ class PlanStep:
         raise KeyError(f"role {role} not covered by step {self.relation_name}")
 
     def roles(self) -> tuple[int, ...]:
+        """All network roles this step's fragment embedding binds."""
         return tuple(network_role for _, network_role in self.piece.role_map)
 
 
@@ -55,6 +56,7 @@ class ExecutionPlan:
         return max(0, len(self.steps) - 1)
 
     def relations_used(self) -> list[str]:
+        """Connection-relation names of the steps, in join order."""
         return [step.relation_name for step in self.steps]
 
     def describe(self) -> str:

@@ -201,12 +201,14 @@ class PresentationGraph:
         return "\n".join(lines)
 
     def displayed_by_role(self) -> dict[int, list[str]]:
+        """Displayed target objects grouped by network role."""
         grouped: dict[int, list[str]] = {}
         for role, to in sorted(self.displayed):
             grouped.setdefault(role, []).append(to)
         return grouped
 
     def describe(self) -> str:
+        """Human-readable multi-line summary of the displayed graph."""
         labels = self.ctssn.network.labels
         lines = [f"presentation graph for {self.ctssn}"]
         for role, tos in sorted(self.displayed_by_role().items()):

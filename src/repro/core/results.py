@@ -46,18 +46,22 @@ class MTTON:
         return dict(self.assignment)
 
     def target_objects(self) -> list[str]:
+        """The result's target-object ids, in role order."""
         return [to_id for _, to_id in self.assignment]
 
     def role_of(self, to_id: str) -> int:
+        """Network role of ``to_id`` (raises ``KeyError`` if absent)."""
         for role, candidate in self.assignment:
             if candidate == to_id:
                 return role
         raise KeyError(to_id)
 
     def contains(self, role: int, to_id: str) -> bool:
+        """True if ``to_id`` participates in this result tree."""
         return self.row.get(role) == to_id
 
     def describe(self) -> str:
+        """Human-readable multi-line rendering of the result tree."""
         labels = self.ctssn.network.labels
         nodes = ", ".join(f"{labels[role]}:{to}" for role, to in self.assignment)
         links = "; ".join(

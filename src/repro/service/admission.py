@@ -175,6 +175,7 @@ class AdmissionController:
             return self._in_flight
 
     def stats(self) -> AdmissionStats:
+        """Snapshot of queue depth and shed/expired/done counters."""
         with self._lock:
             return AdmissionStats(
                 submitted=self._stats.submitted,
@@ -187,6 +188,7 @@ class AdmissionController:
     def shutdown(self, wait: bool = True) -> None:
         # RA101: _closed is published under the lock so a concurrent
         # run() never admits work after the sentinels are queued.
+        """Stop the worker pool; pending queued jobs are abandoned."""
         with self._lock:
             self._closed = True
         for _ in self._threads:

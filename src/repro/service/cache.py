@@ -103,6 +103,7 @@ class QueryCache:
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> SearchResult | None:
+        """Return the cached entry for ``key`` if present and fresh."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -118,6 +119,7 @@ class QueryCache:
             return entry.result
 
     def put(self, key: CacheKey, result: SearchResult) -> None:
+        """Store ``value`` under ``key``, evicting LRU entries past capacity."""
         now = self._clock()
         expires = now + self.ttl if self.ttl is not None else float("inf")
         with self._lock:
@@ -153,6 +155,7 @@ class QueryCache:
             return len(self._entries)
 
     def stats(self) -> CacheStats:
+        """Snapshot of hit/miss/eviction counters and current size."""
         with self._lock:
             return CacheStats(
                 hits=self._hits,

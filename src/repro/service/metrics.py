@@ -32,6 +32,14 @@ DEFAULT_BUCKETS = (
     0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
 
+# Per-stage latency buckets: pipeline stages (matching, CN generation,
+# CTSSN reduction, planning, execution) are often sub-millisecond on the
+# paper-scale databases, so the classic set is extended downward.
+STAGE_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
 
 def _format_value(value: float) -> str:
     """Render ints without a trailing ``.0`` (Prometheus accepts both)."""
@@ -68,6 +76,7 @@ class Counter:
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the current value."""
         if amount < 0:
             raise ValueError("counters only go up")
         with self._lock:
@@ -79,6 +88,7 @@ class Counter:
             return self._value
 
     def render(self) -> list[str]:
+        """Render this metric in Prometheus text exposition format."""
         return [f"{self.name}{_format_labels(self.labels)} {_format_value(self.value)}"]
 
 
@@ -95,14 +105,17 @@ class Gauge:
         self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
+        """Replace the current value with ``value``."""
         with self._lock:
             self._value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (default 1) to the current value."""
         with self._lock:
             self._value += amount
 
     def dec(self, amount: float = 1.0) -> None:
+        """Subtract ``amount`` (default 1) from the current value."""
         with self._lock:
             self._value -= amount
 
@@ -112,6 +125,7 @@ class Gauge:
             return self._value
 
     def render(self) -> list[str]:
+        """Render this metric in Prometheus text exposition format."""
         return [f"{self.name}{_format_labels(self.labels)} {_format_value(self.value)}"]
 
 
@@ -132,6 +146,7 @@ class Histogram:
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
+        """Record ``value`` into its histogram bucket and the sum."""
         index = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[index] += 1
@@ -173,6 +188,7 @@ class Histogram:
         return float("inf")
 
     def render(self) -> list[str]:
+        """Render this metric in Prometheus text exposition format."""
         with self._lock:
             counts = list(self._counts)
             total = self._total
@@ -210,9 +226,11 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        """Get or create the counter named ``name`` with ``labels``."""
         return self._register(Counter, name, help, labels)
 
     def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        """Get or create the gauge named ``name`` with ``labels``."""
         return self._register(Gauge, name, help, labels)
 
     def histogram(
@@ -222,6 +240,7 @@ class MetricsRegistry:
         buckets: tuple[float, ...] = DEFAULT_BUCKETS,
         **labels: str,
     ) -> Histogram:
+        """Get or create the histogram named ``name`` with ``labels``."""
         instrument = self._register(Histogram, name, help, labels, buckets=buckets)
         return instrument
 
@@ -242,6 +261,7 @@ class MetricsRegistry:
 
     # ------------------------------------------------------------------
     def get(self, name: str, **labels: str) -> Counter | Gauge | Histogram | None:
+        """Return the already-registered metric ``name`` with ``labels``."""
         key = (name, tuple(sorted(labels.items())))
         with self._lock:
             return self._instruments.get(key)

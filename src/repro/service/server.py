@@ -9,7 +9,16 @@ This module turns one loaded database into a serving process:
 * ``POST /search``   — ranked MTTONs as JSON (top-k or all-results);
 * ``GET  /expand``   — on-demand presentation-graph navigation;
 * ``GET  /healthz``  — liveness + database identity;
-* ``GET  /metrics``  — Prometheus text exposition.
+* ``GET  /metrics``  — Prometheus text exposition;
+* ``GET  /debug/traces``      — recent query traces (id, query, latency);
+* ``GET  /debug/trace/<id>``  — one full span tree as JSON.
+
+Every computed (non-cached) ``/search`` answer carries the trace id of
+the span tree that produced it, both in the payload and as an
+``X-Trace-Id`` response header; cached answers return the id of the
+trace that originally computed the entry.  Searches slower than
+``ServiceConfig.slow_query_seconds`` are logged to stderr with their
+trace id, so "why was that slow?" is one ``GET /debug/trace/<id>`` away.
 
 Three service concerns wrap the engine (each in its own module):
 :class:`~repro.service.cache.QueryCache` serves repeated queries without
@@ -26,6 +35,7 @@ ends) without touching :class:`QueryService`.
 from __future__ import annotations
 
 import json
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -42,9 +52,10 @@ from ..core import (
     XKeyword,
 )
 from ..storage import LoadedDatabase
+from ..trace import NULL_TRACER, TraceStore, Tracer
 from .admission import AdmissionController, DeadlineExceededError, RejectedError
 from .cache import QueryCache, query_cache_key
-from .metrics import MetricsRegistry
+from .metrics import STAGE_BUCKETS, MetricsRegistry
 
 
 @dataclass
@@ -68,11 +79,31 @@ class ServiceConfig:
     ``benchmarks/bench_analysis_overhead.py``), so serving defaults off.
     """
 
+    tracing: bool = True
+    """Record a span tree per search and serve it via ``/debug/trace``.
+
+    Cheap enough to default on for a serving process (see
+    ``benchmarks/bench_trace_overhead.py``); set ``False`` to run the
+    engine with the null tracer instead.
+    """
+
+    trace_buffer: int = 128
+    """Traces retained in the in-memory ring buffer (oldest evicted)."""
+
+    slow_query_seconds: float | None = 1.0
+    """Log searches slower than this to stderr, with their trace id;
+    ``None`` disables the slow-query log."""
+
 
 class _EngineInstrumentation(ExecutionObserver):
     """Feeds engine hook events into the metrics registry."""
 
     def __init__(self, registry: MetricsRegistry) -> None:
+        """
+        Args:
+            registry: The service's metrics registry; every instrument
+                this instrumentation feeds is created here.
+        """
         self._searches = registry.counter(
             "repro_engine_searches_total", "Keyword searches executed by the engine"
         )
@@ -90,12 +121,21 @@ class _EngineInstrumentation(ExecutionObserver):
             )
             for cached in (True, False)
         }
+        self._stage_seconds = lambda stage: registry.histogram(
+            "repro_stage_seconds",
+            "Engine wall-clock per pipeline stage",
+            buckets=STAGE_BUCKETS,
+            stage=stage,
+        )
 
     # SearchHooks callbacks ------------------------------------------------
     def search_complete(self, query, result: SearchResult, seconds: float) -> None:
+        """Record one finished search, including its per-stage timings."""
         self._searches.inc()
         self._latency.observe(seconds)
         self._results.inc(len(result.mttons))
+        for stage, stage_seconds in result.metrics.stage_seconds.items():
+            self._stage_seconds(stage).observe(stage_seconds)
 
     # ExecutionObserver ----------------------------------------------------
     def on_query(self, relation_name: str, rows: int, cached: bool) -> None:
@@ -146,12 +186,18 @@ class QueryService:
         self.config = config or ServiceConfig()
         self.registry = registry or MetricsRegistry()
         self._instrumentation = _EngineInstrumentation(self.registry)
+        self.tracer = (
+            Tracer(TraceStore(self.config.trace_buffer))
+            if self.config.tracing
+            else NULL_TRACER
+        )
         self._engine_factory = engine_factory or (
             lambda db, hooks: XKeyword(
                 db,
                 threads=self.config.engine_threads,
                 hooks=hooks,
                 verifier=DebugVerifier() if self.config.debug_verify else None,
+                tracer=self.tracer,
             )
         )
         self._swap_lock = threading.Lock()
@@ -185,6 +231,10 @@ class QueryService:
         )
         self._deadline_exceeded = self.registry.counter(
             "repro_deadline_exceeded_total", "Requests that missed their deadline"
+        )
+        self._slow_queries = self.registry.counter(
+            "repro_slow_queries_total",
+            "Searches slower than the slow-query threshold",
         )
 
     def _build_state(self, loaded: LoadedDatabase) -> _EngineState:
@@ -257,11 +307,33 @@ class QueryService:
 
         result = self.admission.run(execute, deadline=deadline)
         self.cache.put(key, result)
-        return self._payload(result, k, time.perf_counter() - started, False)
+        seconds = time.perf_counter() - started
+        self._log_if_slow(result, seconds)
+        return self._payload(result, k, seconds, False)
+
+    def _log_if_slow(self, result: SearchResult, seconds: float) -> None:
+        """Count and stderr-log a search that crossed the slow threshold."""
+        threshold = self.config.slow_query_seconds
+        if threshold is None or seconds < threshold:
+            return
+        self._slow_queries.inc()
+        trace = result.trace
+        print(
+            f"[slow-query] {seconds * 1000.0:.1f} ms "
+            f"keywords={' '.join(result.query.keywords)!r} "
+            f"trace={trace.trace_id if trace is not None else '-'}",
+            file=sys.stderr,
+        )
 
     def _payload(
         self, result: SearchResult, k: int | None, seconds: float, cached: bool
     ) -> dict:
+        """The ``/search`` JSON body for one (possibly replayed) result.
+
+        A cached replay reports the trace id of the search that computed
+        the entry — the spans describe the work actually done, not the
+        dictionary probe that served it.
+        """
         mttons = result.mttons if k is None else result.top(k)
         return {
             "query": {
@@ -270,6 +342,7 @@ class QueryService:
             },
             "k": k,
             "cached": cached,
+            "trace_id": result.trace.trace_id if result.trace is not None else None,
             "elapsed_ms": round(seconds * 1000.0, 3),
             "count": len(mttons),
             "page_count": result.page_count(),
@@ -385,7 +458,31 @@ class QueryService:
         return self.admission.run(execute, deadline=deadline)
 
     # ------------------------------------------------------------------
+    def trace_payload(self, trace_id: str) -> dict:
+        """One stored span tree as JSON (``GET /debug/trace/<id>``).
+
+        Raises:
+            LookupError: Tracing is disabled, or the id is unknown /
+                already evicted from the ring buffer.
+        """
+        store = self.tracer.store
+        if store is None:
+            raise LookupError("tracing is disabled on this service")
+        trace = store.get(trace_id)
+        if trace is None:
+            raise LookupError(f"no trace {trace_id!r} (unknown or evicted)")
+        return trace.to_dict()
+
+    def traces_payload(self, limit: int = 20) -> dict:
+        """Summaries of the most recent traces (``GET /debug/traces``)."""
+        store = self.tracer.store
+        if store is None:
+            raise LookupError("tracing is disabled on this service")
+        return {"traces": [trace.summary() for trace in store.recent(limit)]}
+
+    # ------------------------------------------------------------------
     def healthz(self) -> dict:
+        """Liveness payload: database fingerprint, uptime, queue stats."""
         state = self._state
         return {
             "status": "ok",
@@ -420,17 +517,21 @@ class QueryService:
         return self.registry.render()
 
     def close(self) -> None:
+        """Shut down the admission pool and release the engine state."""
         self.admission.shutdown()
 
     # Metrics helpers used by the HTTP layer ----------------------------
     def observe_request(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished HTTP request into the metrics registry."""
         self._requests(endpoint, status).inc()
         self._request_seconds(endpoint).observe(seconds)
 
     def count_shed(self) -> None:
+        """Count one request shed by admission control (503)."""
         self._shed.inc()
 
     def count_deadline_exceeded(self) -> None:
+        """Count one request that exceeded its deadline (504)."""
         self._deadline_exceeded.inc()
 
 
@@ -458,6 +559,13 @@ class _Handler(BaseHTTPRequestHandler):
         elif parsed.path == "/expand":
             params = parse_qs(parsed.query)
             self._handle("expand", lambda: self._expand(params))
+        elif parsed.path == "/debug/traces":
+            params = parse_qs(parsed.query)
+            limit = int(params.get("limit", ["20"])[0])
+            self._handle("debug_traces", lambda: self.service.traces_payload(limit))
+        elif parsed.path.startswith("/debug/trace/"):
+            trace_id = parsed.path[len("/debug/trace/"):]
+            self._handle("debug_trace", lambda: self.service.trace_payload(trace_id))
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -503,7 +611,12 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             payload = producer()
             status = 200
-            self._send_json(status, payload)
+            trace_id = payload.get("trace_id") if isinstance(payload, dict) else None
+            self._send_json(
+                status,
+                payload,
+                extra_headers={"X-Trace-Id": str(trace_id)} if trace_id else None,
+            )
         except RejectedError as exc:
             status = 503
             self.service.count_shed()

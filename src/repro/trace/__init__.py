@@ -1,0 +1,24 @@
+"""Per-query tracing and EXPLAIN: span trees over the query pipeline.
+
+This package has no dependencies on the rest of the repository (it sits
+at the bottom of the layering DAG, alongside ``xmlgraph``), so every
+layer may record into it: ``core`` opens the spans, ``service`` stores
+and serves them, the CLI renders them.  See ``docs/ARCHITECTURE.md`` for
+where the :class:`Tracer` seam plugs into the engine.
+"""
+
+from .spans import NULL_SPAN, NULL_TRACE, NullSpan, NullTrace, QueryTrace, Span
+from .tracer import NULL_TRACER, NullTracer, Tracer, TraceStore
+
+__all__ = [
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "NULL_TRACER",
+    "NullSpan",
+    "NullTrace",
+    "NullTracer",
+    "QueryTrace",
+    "Span",
+    "TraceStore",
+    "Tracer",
+]

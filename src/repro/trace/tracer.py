@@ -1,0 +1,113 @@
+"""Tracer (trace factory) and the bounded in-memory trace store.
+
+The :class:`Tracer` is the seam the engine holds: ``begin`` opens a
+:class:`~repro.trace.spans.QueryTrace` per search, ``finish`` closes it
+and hands it to the optional :class:`TraceStore` — a bounded ring buffer
+keyed by trace id, which the HTTP service exposes via
+``GET /debug/trace/<id>``.  :class:`NullTracer` is the disabled
+counterpart: it hands out :data:`~repro.trace.spans.NULL_TRACE`, so an
+untraced engine runs the identical code path at no-op cost.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .spans import NULL_TRACE, NullTrace, QueryTrace
+
+
+class TraceStore:
+    """A bounded, thread-safe ring buffer of finished traces.
+
+    Oldest traces fall off when capacity is exceeded, so a long-lived
+    service holds a sliding window of recent queries — enough to answer
+    "why was *that* request slow?" without unbounded memory.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        """
+        Args:
+            capacity: Maximum retained traces; must be positive.
+        """
+        if capacity < 1:
+            raise ValueError("trace store capacity must be positive")
+        self.capacity = capacity
+        self._traces: OrderedDict[str, QueryTrace] = OrderedDict()  # guarded by: self._lock
+        self._lock = threading.Lock()
+
+    def put(self, trace: QueryTrace) -> None:
+        """Retain a finished trace, evicting the oldest beyond capacity."""
+        with self._lock:
+            self._traces[trace.trace_id] = trace
+            self._traces.move_to_end(trace.trace_id)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+
+    def get(self, trace_id: str) -> QueryTrace | None:
+        """The trace with this id, or ``None`` if evicted/unknown."""
+        with self._lock:
+            return self._traces.get(trace_id)
+
+    def recent(self, limit: int = 20) -> list[QueryTrace]:
+        """The most recent traces, newest first."""
+        with self._lock:
+            traces = list(self._traces.values())
+        return traces[::-1][:max(0, limit)]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+
+class Tracer:
+    """Opens one :class:`QueryTrace` per search and retains the result.
+
+    Attributes:
+        store: Optional ring buffer finished traces land in.
+        last: The most recently finished trace (the CLI's ``--explain``
+            reads it; single-writer, so unsynchronized).
+    """
+
+    enabled = True
+
+    def __init__(self, store: TraceStore | None = None) -> None:
+        """
+        Args:
+            store: Where finished traces are retained; ``None`` keeps
+                only :attr:`last`.
+        """
+        self.store = store
+        self.last: QueryTrace | None = None
+
+    def begin(self, query_text: str, **attributes) -> QueryTrace:
+        """Open a new trace for one search."""
+        return QueryTrace(query_text, **attributes)
+
+    def finish(self, trace: QueryTrace | NullTrace) -> None:
+        """Close a trace and retain it (no-op for the null trace)."""
+        if not trace.enabled:
+            return
+        trace.finish()
+        self.last = trace  # type: ignore[assignment]
+        if self.store is not None:
+            self.store.put(trace)  # type: ignore[arg-type]
+
+
+class NullTracer:
+    """The disabled tracer: every search gets the shared null trace."""
+
+    __slots__ = ()
+
+    enabled = False
+    store = None
+
+    def begin(self, query_text: str, **attributes) -> NullTrace:
+        """Return the shared null trace."""
+        return NULL_TRACE
+
+    def finish(self, trace) -> None:
+        """Do nothing."""
+
+
+NULL_TRACER = NullTracer()

@@ -2,7 +2,13 @@
 
 from .dblp import DBLPConfig, author_keywords, generate_dblp, title_keywords
 from .queries import QuerySpec, co_occurring_queries
-from .tpch import TPCHConfig, generate_tpch, part_keywords, person_keywords
+from .tpch import (
+    TPCHConfig,
+    figure1_document,
+    generate_tpch,
+    part_keywords,
+    person_keywords,
+)
 from .xmark import XMarkConfig, generate_xmark
 
 __all__ = [
@@ -11,6 +17,7 @@ __all__ = [
     "TPCHConfig",
     "author_keywords",
     "co_occurring_queries",
+    "figure1_document",
     "generate_dblp",
     "generate_tpch",
     "generate_xmark",

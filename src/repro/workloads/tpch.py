@@ -14,6 +14,47 @@ from dataclasses import dataclass
 from ..xmlgraph.model import EdgeKind, XMLGraph
 from . import vocab
 
+FIGURE1_XML = """
+<xmlgraph>
+  <person id="p1"><pname>John</pname><nation>US</nation></person>
+  <person id="p2">
+    <pname>Mike</pname><nation>US</nation>
+    <order id="o1"><o_date>2002-10-01</o_date>
+      <lineitem id="l1"><quantity>10</quantity><ship>2002-10-15</ship>
+        <supplier ref="p1"/><line ref="pa3"/></lineitem>
+      <lineitem id="l2"><quantity>10</quantity><ship>2002-10-22</ship>
+        <supplier ref="p1"/><line ref="pa3"/></lineitem>
+    </order>
+    <order id="o2"><o_date>2002-11-02</o_date>
+      <lineitem id="l3"><quantity>6</quantity><ship>2002-10-03</ship>
+        <supplier ref="p1"/><line ref="pr1"/></lineitem>
+    </order>
+    <service_call id="sc1" ref="pr1">
+      <sc_date>2002-11-20</sc_date><sc_descr>DVD error</sc_descr>
+    </service_call>
+  </person>
+  <part id="pa3"><pa_key>1005</pa_key><pa_name>TV</pa_name>
+    <sub><part id="pa1"><pa_key>1008</pa_key><pa_name>VCR</pa_name></part></sub>
+    <sub><part id="pa2"><pa_key>1009</pa_key><pa_name>VCR</pa_name></part></sub>
+  </part>
+  <product id="pr1"><prodkey>2005</prodkey>
+    <pr_descr>set of VCR and DVD</pr_descr></product>
+</xmlgraph>
+"""
+
+
+def figure1_document() -> str:
+    """The paper's Figure 1 running example as XML text.
+
+    Hand-written (the synthetic generator's vocabulary does not contain
+    "john" or "vcr"), so the Section 1 queries — ``john vcr`` with its
+    size-6 product route beating the size-8 subpart route, and ``us vcr``
+    with the Figure 2 multivalued redundancy — reproduce exactly.  Parse
+    with ``ParseOptions(drop_root=True)`` so persons and parts stay
+    unrelated roots, as the paper prescribes (Section 3).
+    """
+    return FIGURE1_XML.strip() + "\n"
+
 
 @dataclass(frozen=True)
 class TPCHConfig:

@@ -1,0 +1,183 @@
+"""Unit tests for span trees, null objects, and the trace store."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+from repro.trace import (
+    NULL_SPAN,
+    NULL_TRACE,
+    NULL_TRACER,
+    QueryTrace,
+    Tracer,
+    TraceStore,
+)
+
+import pytest
+
+
+class TestSpanTree:
+    def test_spans_nest_under_parents(self):
+        trace = QueryTrace("a b")
+        stage = trace.span("matching")
+        cn = trace.span("cn", network="N1")
+        plan = cn.child("plan")
+        assert [child.name for child in trace.root.children] == ["matching", "cn"]
+        assert cn.children == [plan]
+        assert stage.children == []
+
+    def test_annotate_overwrites(self):
+        trace = QueryTrace("q")
+        span = trace.span("cn", score=3)
+        span.annotate(score=4, results=7)
+        assert span.attributes == {"score": 4, "results": 7}
+
+    def test_finish_is_idempotent(self):
+        trace = QueryTrace("q")
+        span = trace.span("s")
+        span.finish()
+        first = span.end
+        span.finish()
+        assert span.end == first
+        assert span.duration_seconds >= 0.0
+
+    def test_lookup_aggregation(self):
+        trace = QueryTrace("q")
+        span = trace.span("execute")
+        span.record_lookup("cr_pa", 5, cached=False)
+        span.record_lookup("cr_pa", 2, cached=False)
+        span.record_lookup("cr_pa", 2, cached=True)
+        span.record_lookup("cr_li", 0, cached=False)
+        assert span.lookups == {
+            "cr_pa": {"dbms": 2, "cached": 1, "rows": 7},
+            "cr_li": {"dbms": 1, "cached": 0, "rows": 0},
+        }
+
+    def test_concurrent_child_appends(self):
+        trace = QueryTrace("q")
+
+        def add_children():
+            for _ in range(200):
+                trace.span("cn")
+
+        threads = [threading.Thread(target=add_children) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(trace.root.children) == 800
+
+
+class TestSerialization:
+    def build(self) -> QueryTrace:
+        trace = QueryTrace("john vcr", k=10)
+        trace.span("matching").finish()
+        cn = trace.span("cn", network="N1", estimated_results=2.5)
+        plan = cn.child("plan")
+        plan.annotate(joins=1, detail="step 0: cr_pa\nstep 1: cr_li")
+        plan.finish()
+        execute = cn.child("execute")
+        execute.record_lookup("cr_pa", 3, cached=False)
+        execute.finish()
+        cn.annotate(actual_results=4)
+        cn.finish()
+        trace.finish()
+        return trace
+
+    def test_to_dict_is_json_serializable(self):
+        payload = self.build().to_dict()
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["query"] == "john vcr"
+        assert round_tripped["trace_id"]
+        root = round_tripped["root"]
+        assert root["name"] == "search"
+        names = [child["name"] for child in root["children"]]
+        assert names == ["matching", "cn"]
+        cn = root["children"][1]
+        assert cn["attributes"]["actual_results"] == 4
+        execute = cn["children"][1]
+        assert execute["lookups"] == {
+            "cr_pa": {"dbms": 1, "cached": 0, "rows": 3}
+        }
+        assert execute["start_ms"] >= 0.0
+
+    def test_render_contains_stages_attributes_and_lookups(self):
+        text = self.build().render()
+        assert "query='john vcr'" in text
+        assert "|- matching" in text
+        assert "`- cn" in text
+        assert "estimated_results=2.5" in text
+        assert "actual_results=4" in text
+        # The multi-line "detail" attribute renders as an indented block.
+        assert "step 0: cr_pa" in text
+        assert "step 1: cr_li" in text
+        assert "lookup cr_pa: dbms=1 cached=0 rows=3" in text
+
+    def test_summary_row(self):
+        summary = self.build().summary()
+        assert set(summary) == {"trace_id", "query", "started_at", "duration_ms"}
+
+
+class TestNullObjects:
+    def test_null_span_absorbs_everything(self):
+        assert NULL_SPAN.enabled is False
+        assert NULL_SPAN.child("x") is NULL_SPAN
+        NULL_SPAN.annotate(a=1)
+        NULL_SPAN.record_lookup("r", 1, cached=False)
+        NULL_SPAN.finish()
+
+    def test_null_trace_hands_out_null_spans(self):
+        assert NULL_TRACE.enabled is False
+        assert NULL_TRACE.span("matching") is NULL_SPAN
+        assert NULL_TRACE.root is NULL_SPAN
+        NULL_TRACE.finish()
+
+    def test_null_tracer_is_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.store is None
+        assert NULL_TRACER.begin("q") is NULL_TRACE
+        NULL_TRACER.finish(NULL_TRACE)
+
+
+class TestTracer:
+    def test_finish_retains_last_and_stores(self):
+        store = TraceStore(capacity=4)
+        tracer = Tracer(store)
+        trace = tracer.begin("a b", k=10)
+        assert trace.enabled
+        tracer.finish(trace)
+        assert tracer.last is trace
+        assert store.get(trace.trace_id) is trace
+        assert trace.root.end is not None
+
+    def test_finish_ignores_null_trace(self):
+        tracer = Tracer(TraceStore())
+        tracer.finish(NULL_TRACE)
+        assert tracer.last is None
+        assert len(tracer.store) == 0
+
+
+class TestTraceStore:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)
+
+    def test_ring_eviction(self):
+        store = TraceStore(capacity=2)
+        traces = [QueryTrace(f"q{i}") for i in range(3)]
+        for trace in traces:
+            store.put(trace)
+        assert len(store) == 2
+        assert store.get(traces[0].trace_id) is None
+        assert store.get(traces[1].trace_id) is traces[1]
+        assert store.get(traces[2].trace_id) is traces[2]
+
+    def test_recent_is_newest_first(self):
+        store = TraceStore(capacity=8)
+        traces = [QueryTrace(f"q{i}") for i in range(4)]
+        for trace in traces:
+            store.put(trace)
+        recent = store.recent(limit=2)
+        assert recent == [traces[3], traces[2]]
+        assert store.recent(limit=0) == []

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI doc-link gate: internal references in the markdown docs must resolve.
+
+Checks two kinds of references in the files listed in ``DOCS``:
+
+1. Markdown links ``[text](target)`` whose target is not an URL or an
+   in-page anchor — the target path must exist relative to the doc's
+   directory (or the repo root as a fallback).
+2. Backtick spans that look like repo paths — contain a ``/`` or end in
+   a known file suffix, no spaces or wildcard/placeholder characters.
+   A trailing ``::name`` (pytest node id) is stripped before checking.
+
+Stdlib only. Exits non-zero listing every dangling reference.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+# The docs conventionally abbreviate "src/repro/core/engine.py" as
+# "core/engine.py" and "benchmarks/bench_x.py" as "bench_x.py".
+ROOTS = (REPO, REPO / "src" / "repro", REPO / "benchmarks")
+DOCS = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+    "docs/ARCHITECTURE.md",
+)
+SUFFIXES = (".py", ".md", ".toml", ".yml", ".xml", ".txt", ".cfg")
+MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+SKIP_CHARS = set(" <>*{}$|,=()'\"")
+
+
+def looks_like_path(span: str) -> bool:
+    if SKIP_CHARS & set(span):
+        return False
+    if span.endswith("/"):
+        span = span[:-1]
+    if "/" in span:
+        head = span.split("/", 1)[0]
+        # src/..., tests/..., benchmarks/... etc. — not URLs, not options
+        return bool(head) and not head.startswith(("-", "http")) and "." not in head
+    return span.endswith(SUFFIXES) and not span.startswith("-")
+
+
+def resolve(doc: Path, target: str) -> bool:
+    target = target.split("::", 1)[0].split("#", 1)[0].rstrip("/")
+    if not target:
+        return True
+    if (doc.parent / target).exists():
+        return True
+    return any((root / target).exists() for root in ROOTS)
+
+
+def check(doc: Path) -> list[str]:
+    errors = []
+    text = doc.read_text()
+    fences = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if line.lstrip().startswith("```"):
+            fences = not fences
+        for match in MD_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "#", "mailto:")):
+                continue
+            if not resolve(doc, target):
+                errors.append(f"{doc.relative_to(REPO)}:{lineno}: dangling link {target!r}")
+        if fences:
+            continue  # code blocks show commands, not references
+        for match in BACKTICK.finditer(line):
+            span = match.group(1).strip()
+            if not looks_like_path(span):
+                continue
+            if not resolve(doc, span):
+                errors.append(f"{doc.relative_to(REPO)}:{lineno}: dangling path {span!r}")
+    return errors
+
+
+def main() -> int:
+    errors: list[str] = []
+    for name in DOCS:
+        doc = REPO / name
+        if not doc.exists():
+            errors.append(f"{name}: listed in DOCS but missing")
+            continue
+        errors.extend(check(doc))
+    if errors:
+        print(f"{len(errors)} dangling doc reference(s):")
+        for error in errors:
+            print(f"  {error}")
+        return 1
+    print(f"doc-link check passed for {len(DOCS)} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
