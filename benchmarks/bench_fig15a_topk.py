@@ -27,11 +27,15 @@ import common
 
 KS = (1, 5, 10, 20)
 
+STRATEGIES = ("serial", "shared-prefix", "shared-prefix+pruning")
 
-def run_topk(decomposition_name: str, k: int) -> int:
+
+def run_topk(
+    decomposition_name: str, k: int, strategy: str = "shared-prefix+pruning"
+) -> int:
     total = 0
     for prepared in common.prepared_searches(decomposition_name, max_size=8):
-        total += common.execute_prepared(prepared, k)
+        total += common.execute_prepared(prepared, k, strategy=strategy)
     return total
 
 
@@ -41,6 +45,18 @@ def test_fig15a_topk(benchmark, decomposition, k):
     benchmark.group = f"fig15a-top{k:02d}"
     benchmark.name = decomposition
     produced = benchmark(run_topk, decomposition, k)
+    assert produced > 0
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_fig15a_strategy_ablation(benchmark, strategy):
+    """Cross-CN scheduler ablation on the Figure 15(a) workload (K=10,
+    XKeyword decomposition): prefix sharing and global top-k pruning are
+    result-identical to serial (the equivalence suite proves it) and
+    must win on latency — EXPERIMENTS.md records the measured ratios."""
+    benchmark.group = "fig15a-strategy"
+    benchmark.name = strategy
+    produced = benchmark(run_topk, "XKeyword", 10, strategy)
     assert produced > 0
 
 

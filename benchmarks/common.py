@@ -159,33 +159,62 @@ def prepared_searches(
 
 
 def execute_prepared(
-    prepared: PreparedQuery, k: int | None, hash_join: bool = False, use_cache: bool = True
+    prepared: PreparedQuery,
+    k: int | None,
+    hash_join: bool = False,
+    use_cache: bool = True,
+    strategy: str = "serial",
 ) -> int:
-    """Run pre-planned CTSSNs in score order until K results are found.
+    """Run pre-planned CTSSNs in score order under one scheduling strategy.
 
     ``use_cache=False`` is the paper's *naive* executor: no partial-
     result reuse of any kind (every inner loop re-sends its queries).
+    ``strategy`` ablates the cross-CN scheduler: ``serial`` evaluates
+    every CN independently to ``k`` results, ``shared-prefix`` adds
+    once-per-query materialization of canonical join prefixes, and
+    ``shared-prefix+pruning`` also skips CNs whose score exceeds the
+    global k-th best collected score — all three produce the same top-k.
     """
-    from repro.core import CTSSNExecutor, ExecutorConfig, ResultCache
+    from repro.core import (
+        CTSSNExecutor,
+        ExecutorConfig,
+        ResultCache,
+        SharedPrefixTable,
+        TopKBound,
+        assign_shared_prefixes,
+    )
 
     config = ExecutorConfig(
-        use_cache=use_cache, hash_join=hash_join, share_lookups=use_cache
+        use_cache=use_cache,
+        hash_join=hash_join,
+        share_lookups=use_cache,
+        strategy=strategy,
     )
     lookup_cache = ResultCache() if use_cache else None
+    prefixes = {}
+    prefix_table = None
+    if config.share_prefixes:
+        prefixes = assign_shared_prefixes([plan for _, plan in prepared.plans])
+        if prefixes:
+            prefix_table = SharedPrefixTable()
+    bound = TopKBound(k) if config.prune_by_bound and k is not None else None
     produced = 0
-    for ctssn, plan in prepared.plans:
+    for index, (ctssn, plan) in enumerate(prepared.plans):
+        if bound is not None and not bound.admits(ctssn.score):
+            continue
         executor = CTSSNExecutor(
             plan,
             prepared.engine.stores,
             prepared.containing,
             config=config,
             lookup_cache=None if hash_join else lookup_cache,
+            prefix=prefixes.get(index),
+            prefix_table=prefix_table,
         )
-        remaining = None if k is None else k - produced
-        for _ in executor.run(limit=remaining):
+        for _ in executor.run(limit=k):
             produced += 1
-        if k is not None and produced >= k:
-            break
+            if bound is not None:
+                bound.add(ctssn.score)
     return produced
 
 

@@ -5,12 +5,17 @@ timings; this script complements it by printing the *series* exactly the
 way the paper's figures plot them (one row per x-axis point, one column
 per curve), so paper-vs-measured comparison is direct.
 
-Run:  python benchmarks/run_report.py [--quick]
+Run:  python benchmarks/run_report.py [--quick] [--json [PATH]]
+
+``--json`` additionally writes every numeric series to ``BENCH_report.json``
+(or PATH) for ``tools/check_bench_regression.py``, the CI regression gate
+that diffs the report against ``benchmarks/baselines/BENCH_baseline.json``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 import time
@@ -24,6 +29,16 @@ from repro.core import XKeyword
 from repro.decomposition import FragmentClass, classify_fragment
 from repro.schema import dblp_catalog
 from repro.storage import Database, RelationStore
+
+# Every numeric series the figures print, keyed "section/row/column".
+# ``better`` says which direction is an improvement, so the regression
+# gate knows whether a higher number is a win (speedups) or a loss (ms).
+METRICS: dict[str, dict] = {}
+
+
+def record_metric(name: str, value: float, better: str = "lower") -> None:
+    """Stow one numeric cell for the ``--json`` report."""
+    METRICS[name] = {"value": round(float(value), 4), "better": better}
 
 
 def timed(callable_, repeats: int = 3) -> float:
@@ -55,8 +70,13 @@ def fig15a(repeats: int) -> None:
         for name in names:
             prepared = common.prepared_searches(name, max_size=8)
             seconds = timed(
-                lambda: [common.execute_prepared(p, k) for p in prepared], repeats
+                lambda: [
+                    common.execute_prepared(p, k, strategy="shared-prefix+pruning")
+                    for p in prepared
+                ],
+                repeats,
             )
+            record_metric(f"fig15a/top{k:02d}/{name}", seconds * 1000)
             row.append(f"{seconds * 1000:.1f}")
         rows.append(row)
     table(
@@ -84,6 +104,7 @@ def fig15b(repeats: int) -> None:
                 ],
                 repeats,
             )
+            record_metric(f"fig15b/size{size}/{name}", seconds * 1000)
             row.append(f"{seconds * 1000:.1f}")
         rows.append(row)
     table(
@@ -112,6 +133,12 @@ def fig16a(repeats: int, latency: float) -> None:
             lat_naive = timed(lambda: run(False), 1)
         finally:
             database.simulated_latency = 0.0
+        record_metric(
+            f"fig16a/size{size}/in_process_speedup", raw_naive / raw_cached, "higher"
+        )
+        record_metric(
+            f"fig16a/size{size}/with_latency_speedup", lat_naive / lat_cached, "higher"
+        )
         rows.append(
             [
                 str(size),
@@ -147,6 +174,10 @@ def fig16b(repeats: int, latency: float) -> None:
                     started = time.perf_counter()
                     fig.expand_paper(navigator)
                     samples.append(time.perf_counter() - started)
+                record_metric(
+                    f"fig16b/size{size}/{variant}",
+                    statistics.median(samples) * 1000,
+                )
                 row.append(f"{statistics.median(samples) * 1000:.0f}")
             finally:
                 database.simulated_latency = 0.0
@@ -193,12 +224,56 @@ def space_report() -> None:
     )
 
 
+def scheduler_ablation(repeats: int) -> None:
+    """Cross-CN scheduler ablation on the Fig 15(a)/(b) workloads.
+
+    Three strategies, identical results (the equivalence suite asserts
+    it): ``serial`` evaluates every CN to K results independently;
+    ``shared-prefix`` materializes each canonical join prefix once per
+    query; ``shared-prefix+pruning`` also skips CNs whose score exceeds
+    the global k-th best.  The pruning column must beat serial by >=
+    1.3x — the ratio the regression gate and EXPERIMENTS.md track.
+    """
+    strategies = ("serial", "shared-prefix", "shared-prefix+pruning")
+    rows = []
+    measured: dict[tuple[int, str], float] = {}
+    for k in (1, 10, 20):
+        prepared = common.prepared_searches("XKeyword", max_size=8)
+        row = [str(k)]
+        for strategy in strategies:
+            seconds = timed(
+                lambda: [
+                    common.execute_prepared(p, k, strategy=strategy)
+                    for p in prepared
+                ],
+                repeats,
+            )
+            measured[(k, strategy)] = seconds
+            record_metric(f"ablation/top{k:02d}/{strategy}", seconds * 1000)
+            row.append(f"{seconds * 1000:.1f}")
+        speedup = measured[(k, "serial")] / measured[(k, "shared-prefix+pruning")]
+        record_metric(f"ablation/top{k:02d}/pruning_speedup", speedup, "higher")
+        row.append(f"{speedup:.2f}x")
+        rows.append(row)
+    table(
+        "Scheduler ablation - Fig 15(a) workload (ms), XKeyword decomposition",
+        ["K"] + list(strategies) + ["serial/pruning"],
+        rows,
+    )
+
+
 def baselines_report(repeats: int) -> None:
     graph = common.bench_graph()
     banks = BanksSearcher(graph)
     rows = []
     prepared = common.prepared_searches("XKeyword", max_size=8)
-    xk_seconds = timed(lambda: [common.execute_prepared(p, 10) for p in prepared], repeats)
+    xk_seconds = timed(
+        lambda: [
+            common.execute_prepared(p, 10, strategy="shared-prefix+pruning")
+            for p in prepared
+        ],
+        repeats,
+    )
     queries = common.bench_queries(max_size=8)
     bk_seconds = timed(
         lambda: [banks.search(list(q.keywords), k=10, max_size=8) for q in queries],
@@ -210,6 +285,8 @@ def baselines_report(repeats: int) -> None:
         == banks.search(list(q.keywords), k=1, max_size=8)[0].score
         for q in queries
     )
+    record_metric("e7/xkeyword_top10", xk_seconds * 1000)
+    record_metric("e7/banks_top10", bk_seconds * 1000)
     rows.append(["XKeyword top-10", f"{xk_seconds * 1000:.1f}", "-"])
     rows.append(
         ["BANKS top-10 (data graph)", f"{bk_seconds * 1000:.1f}", str(agreement)]
@@ -225,6 +302,15 @@ def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="1 repeat per point")
     parser.add_argument("--latency", type=float, default=0.0003)
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_report.json",
+        default=None,
+        metavar="PATH",
+        help="also write every numeric series to PATH "
+        "(default BENCH_report.json) for tools/check_bench_regression.py",
+    )
     args = parser.parse_args()
     repeats = 1 if args.quick else 3
 
@@ -240,8 +326,25 @@ def main() -> None:
     fig15b(repeats)
     fig16a(repeats, args.latency)
     fig16b(repeats, args.latency)
+    scheduler_ablation(repeats)
     space_report()
     baselines_report(repeats)
+
+    if args.json:
+        report = {
+            "meta": {
+                "quick": args.quick,
+                "repeats": repeats,
+                "scale": {
+                    "papers": common.SCALE.papers,
+                    "authors": common.SCALE.authors,
+                    "seed": common.SCALE.seed,
+                },
+            },
+            "metrics": METRICS,
+        }
+        Path(args.json).write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"\nwrote {len(METRICS)} metrics to {args.json}")
 
 
 if __name__ == "__main__":

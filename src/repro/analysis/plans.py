@@ -1,4 +1,4 @@
-"""Level 2: static verification of CNs, CTSSNs and plans (RV301-RV310).
+"""Level 2: static verification of CNs, CTSSNs and plans (RV301-RV311).
 
 The paper's correctness rests on structural invariants the pipeline is
 supposed to maintain: candidate networks are trees with total, disjoint
@@ -26,6 +26,7 @@ from ..schema.graph import SchemaError
 if TYPE_CHECKING:  # import cycle shields only; all uses are annotations
     from ..core.cn_generator import CandidateNetwork
     from ..core.ctssn import CTSSN
+    from ..core.execution import PrefixSpec
     from ..core.plans import ExecutionPlan
     from ..decomposition.fragments import TSSNetwork
     from ..schema.tss import TSSGraph
@@ -427,6 +428,68 @@ def plan_violations(
     return violations
 
 
+def shared_prefix_violations(
+    plan: "ExecutionPlan", prefix: "PrefixSpec"
+) -> list[InvariantViolation]:
+    """RV311: a borrowed shared prefix must be embeddable in the plan.
+
+    The cross-CN scheduler materializes a canonicalized join prefix once
+    and hands the rows to every plan whose own prefix has the same
+    signature.  That is only sound if the borrowing plan's first
+    ``prefix.length`` steps *re-canonicalize to exactly the borrowed
+    key* — same relations, stores, join slots and keyword filters — and
+    the slot -> role mapping is a bijection onto the plan's own roles.
+    This check re-derives the signature from scratch (it never trusts
+    the scheduler's assignment) and compares.
+    """
+    from ..core.execution import prefix_spec  # runtime: analysis -> core is allowed
+
+    violations: list[InvariantViolation] = []
+    network = plan.ctssn.network
+    if not 1 <= prefix.length <= len(plan.steps):
+        return [
+            InvariantViolation(
+                "RV311",
+                f"prefix length {prefix.length} is outside the plan's "
+                f"{len(plan.steps)} steps",
+            )
+        ]
+    roles = prefix.roles_by_slot
+    if len(set(roles)) != len(roles):
+        violations.append(
+            InvariantViolation(
+                "RV311", f"slot -> role mapping {roles} is not injective"
+            )
+        )
+    out_of_range = [role for role in roles if not 0 <= role < network.role_count]
+    if out_of_range:
+        violations.append(
+            InvariantViolation(
+                "RV311", f"slots map to unknown network roles {out_of_range}"
+            )
+        )
+    if violations:
+        return violations
+    derived = prefix_spec(plan, prefix.length)
+    if derived is None or derived.key != prefix.key:
+        violations.append(
+            InvariantViolation(
+                "RV311",
+                f"the plan's own first {prefix.length} steps canonicalize to a "
+                "different signature — the borrowed rows are not embeddable",
+            )
+        )
+    elif derived.roles_by_slot != prefix.roles_by_slot:
+        violations.append(
+            InvariantViolation(
+                "RV311",
+                f"slot -> role mapping {prefix.roles_by_slot} disagrees with "
+                f"the plan's own {derived.roles_by_slot}",
+            )
+        )
+    return violations
+
+
 # ----------------------------------------------------------------------
 # Engine adapter
 # ----------------------------------------------------------------------
@@ -456,3 +519,13 @@ class DebugVerifier:
         violations = plan_violations(plan, stores)
         if violations:
             raise InvariantError(f"plan for {plan.ctssn}", violations)
+
+    def check_shared_prefix(
+        self, plan: "ExecutionPlan", prefix: "PrefixSpec"
+    ) -> None:
+        violations = shared_prefix_violations(plan, prefix)
+        if violations:
+            raise InvariantError(
+                f"shared prefix (length {prefix.length}) for {plan.ctssn}",
+                violations,
+            )

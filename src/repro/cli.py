@@ -83,6 +83,14 @@ def _build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--all", action="store_true", help="list every result")
         sub.add_argument("--seed", type=int, default=7)
         sub.add_argument(
+            "--strategy",
+            choices=("serial", "shared-prefix", "shared-prefix+pruning"),
+            default="shared-prefix+pruning",
+            help="cross-CN scheduling: evaluate CNs independently, share "
+            "canonical join prefixes, or also prune by the global top-k "
+            "bound (all three return identical results)",
+        )
+        sub.add_argument(
             "--debug-verify",
             action="store_true",
             dest="debug_verify",
@@ -160,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         dest="no_tracing",
         help="disable per-query span trees and the /debug/trace endpoints",
     )
+    serve.add_argument(
+        "--strategy",
+        choices=("serial", "shared-prefix", "shared-prefix+pruning"),
+        default="shared-prefix+pruning",
+        help="cross-CN scheduling strategy for the served engine",
+    )
     return parser
 
 
@@ -175,7 +189,12 @@ def _make_engine(args: argparse.Namespace, loaded: LoadedDatabase) -> XKeyword:
         from .trace import Tracer
 
         tracer = Tracer()
-    return XKeyword(loaded, verifier=verifier, tracer=tracer)
+    from .core import ExecutorConfig
+
+    config = ExecutorConfig(
+        strategy=getattr(args, "strategy", "shared-prefix+pruning")
+    )
+    return XKeyword(loaded, executor_config=config, verifier=verifier, tracer=tracer)
 
 
 def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
@@ -375,6 +394,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         debug_verify=args.debug_verify,
         tracing=not args.no_tracing,
         slow_query_seconds=args.slow_query or None,
+        strategy=args.strategy,
     )
     print(
         f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "

@@ -10,12 +10,18 @@ from .ctssn import (
 )
 from .engine import SearchHooks, SearchResult, XKeyword
 from .execution import (
+    STRATEGIES,
     CTSSNExecutor,
     ExecutionMetrics,
     ExecutionObserver,
     ExecutorConfig,
+    PrefixSpec,
     ResultCache,
     ResultRow,
+    SharedPrefixTable,
+    TopKBound,
+    assign_shared_prefixes,
+    prefix_spec,
 )
 from .expansion import OnDemandNavigator
 from .matching import ContainingLists
@@ -45,14 +51,20 @@ __all__ = [
     "DisplayNode",
     "PlanStep",
     "PlanningError",
+    "PrefixSpec",
     "ReductionError",
     "ResultCache",
     "ResultRow",
+    "STRATEGIES",
     "SearchHooks",
     "SearchResult",
+    "SharedPrefixTable",
+    "TopKBound",
     "WitnessConstraint",
     "XKeyword",
+    "assign_shared_prefixes",
     "materialize",
+    "prefix_spec",
     "max_ctssn_size",
     "node_network",
     "reduce_to_ctssn",

@@ -27,7 +27,11 @@ from .execution import (
     ExecutionMetrics,
     ExecutionObserver,
     ExecutorConfig,
+    PrefixSpec,
     ResultCache,
+    SharedPrefixTable,
+    TopKBound,
+    assign_shared_prefixes,
 )
 from .matching import ContainingLists
 from .optimizer import Optimizer
@@ -123,6 +127,9 @@ class NetworkVerifier(Protocol):
         self, plan: ExecutionPlan, stores: Mapping[str, RelationStore]
     ) -> None:
         """Verify one execution plan against its CTSSN."""
+
+    def check_shared_prefix(self, plan: ExecutionPlan, prefix: PrefixSpec) -> None:
+        """Verify a shared prefix is embeddable in the borrowing plan."""
 
 
 class XKeyword:
@@ -380,14 +387,13 @@ class XKeyword:
         )
         lookup_cache = ResultCache(config.cache_capacity)
 
-        collected: list[MTTON] = []
-        lock = threading.Lock()
-        stop = threading.Event()
-
-        def evaluate(ctssn: CTSSN) -> ExecutionMetrics:
-            local_metrics = ExecutionMetrics()
-            if stop.is_set():
-                return local_metrics
+        # --- Cross-CN scheduler -----------------------------------------
+        # Plan every CN upfront (the prefix canonicalization needs all
+        # plans before any executes); each CN's span stays open until its
+        # execution finishes, so the ``plan``/``execute`` children pair
+        # up exactly as before.
+        planned: list[tuple[CTSSN, ExecutionPlan, Span]] = []
+        for ctssn in ordered:
             cn_span = trace.span(
                 "cn",
                 network=ctssn.canonical_key,
@@ -399,10 +405,41 @@ class XKeyword:
             try:
                 plan = self.plan(ctssn, containing, span=plan_span)
             finally:
-                local_metrics.record_stage(
+                metrics.record_stage(
                     "planning", time.perf_counter() - stage_started
                 )
                 plan_span.finish()
+            planned.append((ctssn, plan, cn_span))
+
+        prefixes: dict[int, PrefixSpec] = {}
+        prefix_table: SharedPrefixTable | None = None
+        if config.share_prefixes:
+            prefixes = assign_shared_prefixes([plan for _, plan, _ in planned])
+            if prefixes:
+                prefix_table = SharedPrefixTable()
+                if self.verifier is not None:
+                    for index, spec in prefixes.items():
+                        self.verifier.check_shared_prefix(planned[index][1], spec)
+
+        bound = (
+            TopKBound(limit)
+            if config.prune_by_bound and limit is not None
+            else None
+        )
+        collected: list[MTTON] = []
+        lock = threading.Lock()
+
+        def evaluate(index: int) -> ExecutionMetrics:
+            ctssn, plan, cn_span = planned[index]
+            local_metrics = ExecutionMetrics()
+            lower = self.optimizer.score_lower_bound(ctssn)
+            if bound is not None and not bound.admits(lower):
+                local_metrics.cns_pruned += 1
+                cn_span.annotate(
+                    pruned=True, prune_bound=bound.bound(), actual_results=0
+                )
+                cn_span.finish()
+                return local_metrics
             execute_span = cn_span.child("execute")
             executor = CTSSNExecutor(
                 plan,
@@ -413,8 +450,11 @@ class XKeyword:
                 lookup_cache=lookup_cache,
                 observer=self.hooks.observer,
                 span=execute_span if trace.enabled else None,
+                prefix=prefixes.get(index),
+                prefix_table=prefix_table,
             )
             produced = 0
+            abandoned = False
             stage_started = time.perf_counter()
             try:
                 for row in executor.run(limit=limit):
@@ -422,10 +462,14 @@ class XKeyword:
                     produced += 1
                     with lock:
                         collected.append(mtton)
-                        if limit is not None and len(collected) >= limit:
-                            stop.set()
-                    if stop.is_set():
-                        break
+                    if bound is not None:
+                        bound.add(mtton.score)
+                        # Another CN may have lowered the bound below
+                        # this CN's score mid-run: abandon, nothing more
+                        # from this plan can place in the top k.
+                        if not bound.admits(lower):
+                            abandoned = True
+                            break
             finally:
                 local_metrics.record_stage(
                     "execution", time.perf_counter() - stage_started
@@ -436,20 +480,20 @@ class XKeyword:
                     cache_hits=local_metrics.cache_hits,
                     cache_misses=local_metrics.cache_misses,
                 )
+                if abandoned:
+                    execute_span.annotate(pruned="abandoned")
                 execute_span.finish()
                 cn_span.annotate(actual_results=produced)
                 cn_span.finish()
             return local_metrics
 
-        if parallel and len(ordered) > 1:
+        if parallel and len(planned) > 1:
             with ThreadPoolExecutor(max_workers=self.threads) as pool:
-                for local in pool.map(evaluate, ordered):
+                for local in pool.map(evaluate, range(len(planned))):
                     metrics.merge(local)
         else:
-            for ctssn in ordered:
-                if stop.is_set():
-                    break
-                metrics.merge(evaluate(ctssn))
+            for index in range(len(planned)):
+                metrics.merge(evaluate(index))
 
         collected.sort(key=lambda m: (m.score, m.ctssn.canonical_key, m.assignment))
         if limit is not None:

@@ -25,10 +25,11 @@ bind distinct target objects (an MTTON is a *set* of target objects).
 
 from __future__ import annotations
 
+import heapq
 import threading
-from collections import OrderedDict
+from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Callable, Iterator, Sequence
 
 from ..storage.relations import RelationStore
 from ..trace import Span
@@ -37,6 +38,22 @@ from .plans import ExecutionPlan, PlanStep
 
 ResultRow = dict[int, str]
 """A result: CTSSN role -> target object id."""
+
+STRATEGY_SERIAL = "serial"
+"""Every CN evaluated independently: no cross-CN work sharing, no bound."""
+
+STRATEGY_SHARED_PREFIX = "shared-prefix"
+"""Shared join-step prefixes are materialized once and reused across CNs."""
+
+STRATEGY_SHARED_PREFIX_PRUNING = "shared-prefix+pruning"
+"""Prefix sharing plus global top-k early termination (the default)."""
+
+STRATEGIES = (
+    STRATEGY_SERIAL,
+    STRATEGY_SHARED_PREFIX,
+    STRATEGY_SHARED_PREFIX_PRUNING,
+)
+"""Valid values for :attr:`ExecutorConfig.strategy`, weakest first."""
 
 
 @dataclass
@@ -48,6 +65,12 @@ class ExecutionMetrics:
     cache_hits: int = 0
     cache_misses: int = 0
     results: int = 0
+    prefix_hits: int = 0
+    """CN evaluations that borrowed an already-materialized shared prefix."""
+    prefix_materializations: int = 0
+    """Shared prefixes this run materialized (exactly one per distinct prefix)."""
+    cns_pruned: int = 0
+    """Candidate networks skipped outright by the global top-k bound."""
     stage_seconds: dict[str, float] = field(default_factory=dict)
     """Wall-clock seconds per pipeline stage (``matching``,
     ``cn_generation``, ``ctssn_reduction``, ``planning``, ``execution``).
@@ -65,6 +88,9 @@ class ExecutionMetrics:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.results += other.results
+        self.prefix_hits += other.prefix_hits
+        self.prefix_materializations += other.prefix_materializations
+        self.cns_pruned += other.cns_pruned
         for stage, seconds in other.stage_seconds.items():
             self.record_stage(stage, seconds)
 
@@ -108,6 +134,221 @@ class ResultCache:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+
+@dataclass(frozen=True)
+class PrefixSpec:
+    """A canonicalized join-step prefix one plan shares with others.
+
+    ``key`` is the machine-independent signature of the first ``length``
+    nested-loop steps (relations, stores, join slots and keyword
+    filters) with CTSSN role ids renamed to *slots* in order of first
+    appearance — two plans whose prefixes canonicalize to the same key
+    enumerate exactly the same partial-result rows in the same order,
+    so the rows can be materialized once and borrowed by every plan.
+    ``roles_by_slot`` maps each canonical slot back to this plan's own
+    role id (slot 0 is always the anchor role).
+    """
+
+    key: tuple
+    length: int
+    roles_by_slot: tuple[int, ...]
+
+
+def prefix_spec(plan: ExecutionPlan, length: int) -> PrefixSpec | None:
+    """Canonicalize the first ``length`` join steps of ``plan``.
+
+    Returns ``None`` when the plan has no such prefix (``length`` out of
+    range).  The signature captures everything that determines which
+    partial rows the prefix enumerates, and in which order:
+
+    * per step: relation name, physical store, and the fragment-role ->
+      slot join map (slots rename the plan's role ids canonically);
+    * per slot: the TSS label and the witness constraints filtering it
+      (equal constraints mean equal admission sets within one query).
+
+    Two plans with equal signatures therefore produce identical
+    canonical row sequences, which is what makes cross-CN borrowing
+    sound (the RV311 verifier rule re-derives this signature).
+    """
+    if length < 1 or length > len(plan.steps):
+        return None
+    ctssn = plan.ctssn
+    slots: dict[int, int] = {}
+
+    def slot_of(role: int) -> int:
+        if role not in slots:
+            slots[role] = len(slots)
+        return slots[role]
+
+    slot_of(plan.anchor_role)  # the anchor seeds the loop: always slot 0
+    step_signatures = []
+    for step in plan.steps[:length]:
+        role_map = tuple(sorted(step.piece.role_map))
+        step_signatures.append(
+            (
+                step.relation_name,
+                step.store_name,
+                tuple(
+                    (fragment_role, slot_of(network_role))
+                    for fragment_role, network_role in role_map
+                ),
+            )
+        )
+    roles_by_slot = tuple(sorted(slots, key=lambda role: slots[role]))
+    labels = tuple(ctssn.network.labels[role] for role in roles_by_slot)
+    constraints = tuple(
+        tuple(
+            constraint.sort_key()
+            for constraint in sorted(
+                ctssn.annotations[role], key=lambda c: c.sort_key()
+            )
+        )
+        for role in roles_by_slot
+    )
+    key = (tuple(step_signatures), labels, constraints)
+    return PrefixSpec(key=key, length=length, roles_by_slot=roles_by_slot)
+
+
+def assign_shared_prefixes(
+    plans: Sequence[ExecutionPlan],
+) -> dict[int, PrefixSpec]:
+    """Pick, per plan, the longest prefix at least one other plan shares.
+
+    Returns ``{plan index -> PrefixSpec}`` covering only plans that end
+    up in a group of two or more: each plan greedily takes its longest
+    prefix whose signature appears in at least two plans, then choices
+    nobody else made are dropped (materializing a prefix only one plan
+    would read is pure overhead).
+    """
+    specs_by_plan: list[list[PrefixSpec]] = []
+    population: Counter = Counter()
+    for plan in plans:
+        row = []
+        for length in range(1, len(plan.steps) + 1):
+            spec = prefix_spec(plan, length)
+            if spec is not None:
+                row.append(spec)
+                population[spec.key] += 1
+        specs_by_plan.append(row)
+    chosen: dict[int, PrefixSpec] = {}
+    for index, row in enumerate(specs_by_plan):
+        for spec in reversed(row):  # longest shared prefix first
+            if population[spec.key] >= 2:
+                chosen[index] = spec
+                break
+    picked = Counter(spec.key for spec in chosen.values())
+    return {
+        index: spec for index, spec in chosen.items() if picked[spec.key] >= 2
+    }
+
+
+class SharedPrefixTable:
+    """Per-query store of materialized shared prefixes.
+
+    Maps a :class:`PrefixSpec` key to the canonical rows (one tuple of
+    target-object ids per row, indexed by slot) its prefix enumerates.
+    ``get_or_materialize`` guarantees each prefix is evaluated **exactly
+    once per query** even when the engine's per-CN thread pool races:
+    the first caller becomes the owner and computes, later callers block
+    on an event and then read the finished rows.
+
+    Shared across the engine's per-CN thread pool (and therefore across
+    the service's worker threads within one request), so all state is
+    lock-guarded.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: dict[tuple, list[tuple[str, ...]]] = {}  # guarded by: self._lock
+        self._pending: dict[tuple, threading.Event] = {}  # guarded by: self._lock
+
+    def get_or_materialize(
+        self,
+        key: tuple,
+        producer: Callable[[], list[tuple[str, ...]]],
+    ) -> tuple[list[tuple[str, ...]], bool]:
+        """Return ``(rows, reused)`` for ``key``, computing at most once.
+
+        The first caller for a key runs ``producer`` (outside the lock)
+        and returns ``(rows, False)``; concurrent and later callers wait
+        for it and return ``(rows, True)``.  If the producer raises, the
+        error propagates to the owner and the key is released so a later
+        caller can retry.
+        """
+        while True:
+            with self._lock:
+                rows = self._rows.get(key)
+                if rows is not None:
+                    return rows, True
+                event = self._pending.get(key)
+                if event is None:
+                    event = threading.Event()
+                    self._pending[key] = event
+                    owner = True
+                else:
+                    owner = False
+            if owner:
+                try:
+                    rows = list(producer())
+                except BaseException:
+                    with self._lock:
+                        self._pending.pop(key, None)
+                    event.set()
+                    raise
+                with self._lock:
+                    self._rows[key] = rows
+                    self._pending.pop(key, None)
+                event.set()
+                return rows, False
+            event.wait()
+            # Loop: either the owner stored rows, or it failed and the
+            # key was released — in which case this caller takes over.
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+
+class TopKBound:
+    """The k-th best (smallest) MTNN size seen across *all* CNs so far.
+
+    Every result of a CTSSN scores exactly ``ctssn.score`` (the source
+    CN's size), so a CN whose score is strictly above the current k-th
+    best collected score cannot contribute to the top k — the global
+    generalization of the paper's per-CN stop condition for Fig 15(a).
+    Ties are *not* prunable: the final ranking breaks equal scores by
+    canonical key and assignment, so an equal-score CN must still run.
+
+    Shared by the per-CN thread pool; the score heap is lock-guarded.
+    """
+
+    def __init__(self, k: int) -> None:
+        if k < 1:
+            raise ValueError("the top-k bound needs k >= 1")
+        self._k = k
+        self._worst: list[int] = []  # max-heap via negation; guarded by: self._lock
+        self._lock = threading.Lock()
+
+    def add(self, score: int) -> None:
+        """Record one collected result's score."""
+        with self._lock:
+            if len(self._worst) < self._k:
+                heapq.heappush(self._worst, -score)
+            elif score < -self._worst[0]:
+                heapq.heapreplace(self._worst, -score)
+
+    def bound(self) -> int | None:
+        """The k-th best score, or ``None`` until k results exist."""
+        with self._lock:
+            if len(self._worst) < self._k:
+                return None
+            return -self._worst[0]
+
+    def admits(self, score: int) -> bool:
+        """Whether a CN with minimum achievable ``score`` can still place."""
+        current = self.bound()
+        return current is None or score <= current
 
 
 class ExecutionObserver:
@@ -238,6 +479,31 @@ class ExecutorConfig:
 
     cache_capacity: int = 50_000
 
+    strategy: str = STRATEGY_SHARED_PREFIX_PRUNING
+    """Cross-CN scheduling strategy (one of :data:`STRATEGIES`):
+    ``serial`` evaluates every CN independently, ``shared-prefix`` adds
+    once-per-query materialization of canonicalized common join
+    prefixes, ``shared-prefix+pruning`` (default) also skips or abandons
+    CNs whose minimum achievable MTNN size exceeds the global k-th best.
+    All three return identical top-k results — the knob exists for the
+    EXPERIMENTS.md ablation."""
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+            )
+
+    @property
+    def share_prefixes(self) -> bool:
+        """Whether the scheduler materializes shared join prefixes."""
+        return self.strategy != STRATEGY_SERIAL
+
+    @property
+    def prune_by_bound(self) -> bool:
+        """Whether the scheduler prunes CNs by the global top-k bound."""
+        return self.strategy == STRATEGY_SHARED_PREFIX_PRUNING
+
 
 class CTSSNExecutor:
     """Nested-loop evaluation of one planned candidate TSS network."""
@@ -253,6 +519,8 @@ class CTSSNExecutor:
         lookup_cache: ResultCache | None = None,
         observer: ExecutionObserver | None = None,
         span: Span | None = None,
+        prefix: PrefixSpec | None = None,
+        prefix_table: SharedPrefixTable | None = None,
     ) -> None:
         """
         Args:
@@ -267,6 +535,11 @@ class CTSSNExecutor:
             observer: Service-layer instrumentation hooks.
             span: Trace span receiving per-relation lookup provenance
                 (``None`` when tracing is disabled).
+            prefix: This plan's shared join prefix, when the scheduler
+                assigned one (see :func:`assign_shared_prefixes`).
+            prefix_table: The per-query table the shared prefix is
+                materialized into / borrowed from; both ``prefix`` and
+                ``prefix_table`` must be set for sharing to engage.
         """
         self.plan = plan
         self.config = config or ExecutorConfig()
@@ -274,6 +547,9 @@ class CTSSNExecutor:
         self.containing = containing
         self.observer = observer
         self.cache = cache or ResultCache(self.config.cache_capacity)
+        self._prefix = prefix
+        self._prefix_table = prefix_table
+        self._span = span
         # The suffix cache may be shared across executors; namespace the
         # keys by this plan's identity.
         self._cache_ns = plan.ctssn.canonical_key
@@ -334,6 +610,16 @@ class CTSSNExecutor:
         fixed = dict(fixed_bindings or {})
         produced = 0
 
+        if (
+            self._prefix is not None
+            and self._prefix_table is not None
+            and not fixed
+            and prefer is None
+            and network.size > 0
+        ):
+            yield from self._run_shared_prefix(limit)
+            return
+
         seeds: list[ResultRow] = []
         anchor = plan.anchor_role
         if anchor in fixed:
@@ -369,6 +655,63 @@ class CTSSNExecutor:
                     return
 
     # ------------------------------------------------------------------
+    def _run_shared_prefix(self, limit: int | None) -> Iterator[ResultRow]:
+        """Evaluate via the shared prefix: borrow (or materialize) the
+        canonical prefix rows, then run only the remaining join steps."""
+        spec = self._prefix
+        assert spec is not None and self._prefix_table is not None
+        rows, reused = self._prefix_table.get_or_materialize(
+            spec.key, lambda: list(self._enumerate_prefix(spec))
+        )
+        if reused:
+            self.metrics.prefix_hits += 1
+        else:
+            self.metrics.prefix_materializations += 1
+        if self._span is not None:
+            self._span.annotate(
+                prefix_reuse={
+                    "reused": reused,
+                    "length": spec.length,
+                    "rows": len(rows),
+                }
+            )
+        needed = self._needed_roles({self.plan.anchor_role})
+        produced = 0
+        for values in rows:
+            seed = dict(zip(spec.roles_by_slot, values))
+            for suffix in self._evaluate(spec.length, seed, needed, None):
+                row = {**seed, **suffix}
+                if len(set(row.values())) != len(row):
+                    continue
+                produced += 1
+                self.metrics.results += 1
+                yield row
+                if limit is not None and produced >= limit:
+                    return
+
+    def _enumerate_prefix(self, spec: PrefixSpec) -> Iterator[tuple[str, ...]]:
+        """Enumerate the prefix's partial rows in canonical slot order.
+
+        Mirrors :meth:`_run` exactly (same seeds, same nested-loop
+        order) but stops after ``spec.length`` steps, so every plan with
+        the same prefix signature yields the identical row sequence.
+        """
+        anchor = self.plan.anchor_role
+        needed = self._needed_roles({anchor})
+        if anchor in self.role_filters:
+            seeds: list[ResultRow] = [
+                {anchor: to_id} for to_id in sorted(self.role_filters[anchor])
+            ]
+        else:
+            seeds = [{}]
+        for seed in seeds:
+            for suffix in self._evaluate(0, seed, needed, None, stop=spec.length):
+                row = {**seed, **suffix}
+                if len(set(row.values())) != len(row):
+                    continue
+                yield tuple(row[role] for role in spec.roles_by_slot)
+
+    # ------------------------------------------------------------------
     def _admit(self, role: int, to_id: str) -> bool:
         allowed = self.role_filters.get(role)
         return allowed is None or to_id in allowed
@@ -393,11 +736,15 @@ class CTSSNExecutor:
         bindings: ResultRow,
         needed: list[tuple[int, ...]],
         prefer: dict[int, set[str]] | None,
+        stop: int | None = None,
     ) -> Iterator[ResultRow]:
-        """Suffix results of steps ``index..``; injectivity is checked
-        against roles inside the suffix only (the caller re-checks the
-        full row)."""
-        if index == len(self.plan.steps):
+        """Suffix results of steps ``index..stop`` (``stop`` defaults to
+        the full plan; prefix materialization stops early); injectivity
+        is checked against roles inside the suffix only (the caller
+        re-checks the full row)."""
+        if stop is None:
+            stop = len(self.plan.steps)
+        if index == stop:
             yield {}
             return
         if self.config.use_cache:
@@ -405,13 +752,14 @@ class CTSSNExecutor:
             key = (
                 self._cache_ns,
                 index,
+                stop,
                 tuple((role, bindings[role]) for role in key_roles),
             )
             cached = self.cache.get(key)
             if cached is None:
                 self.metrics.cache_misses += 1
                 restricted = {role: bindings[role] for role in key_roles}
-                cached = list(self._compute(index, restricted, needed, None))
+                cached = list(self._compute(index, restricted, needed, None, stop))
                 self.cache.put(key, cached)
             else:
                 self.metrics.cache_hits += 1
@@ -425,7 +773,7 @@ class CTSSNExecutor:
                 if all(value not in bound_values for value in suffix.values()):
                     yield suffix
             return
-        yield from self._compute(index, bindings, needed, prefer)
+        yield from self._compute(index, bindings, needed, prefer, stop)
 
     def _compute(
         self,
@@ -433,6 +781,7 @@ class CTSSNExecutor:
         bindings: ResultRow,
         needed: list[tuple[int, ...]],
         prefer: dict[int, set[str]] | None,
+        stop: int | None = None,
     ) -> Iterator[ResultRow]:
         step = self.plan.steps[index]
         bound_roles = [role for role in step.roles() if role in bindings]
@@ -470,7 +819,7 @@ class CTSSNExecutor:
             seen.add(dedupe)
             inner = dict(bindings)
             inner.update(assignment)
-            for suffix in self._evaluate(index + 1, inner, needed, prefer):
+            for suffix in self._evaluate(index + 1, inner, needed, prefer, stop):
                 merged = dict(assignment)
                 conflict = False
                 for role, value in suffix.items():

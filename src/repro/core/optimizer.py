@@ -140,6 +140,19 @@ class Optimizer:
         return plan
 
     # ------------------------------------------------------------------
+    def score_lower_bound(self, ctssn: CTSSN) -> int:
+        """Minimum achievable MTNN size of any result of ``ctssn``.
+
+        Under the paper's ranking every result of a CTSSN scores exactly
+        the source CN's size, so the bound is tight: ``ctssn.score``.
+        The cross-CN scheduler compares it against the global k-th best
+        collected score to skip (or abandon) non-contributing CNs; a
+        future weighted ranking would tighten this seam instead of
+        touching the scheduler.
+        """
+        return ctssn.score
+
+    # ------------------------------------------------------------------
     def estimate_results(
         self, ctssn: CTSSN, role_costs: dict[int, int] | None = None
     ) -> float:

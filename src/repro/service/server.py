@@ -45,6 +45,7 @@ from urllib.parse import parse_qs, urlparse
 from ..analysis.plans import DebugVerifier
 from ..core import (
     ExecutionObserver,
+    ExecutorConfig,
     KeywordQuery,
     OnDemandNavigator,
     SearchHooks,
@@ -94,6 +95,11 @@ class ServiceConfig:
     """Log searches slower than this to stderr, with their trace id;
     ``None`` disables the slow-query log."""
 
+    strategy: str = "shared-prefix+pruning"
+    """Cross-CN scheduling strategy for the served engine (one of
+    :data:`repro.core.execution.STRATEGIES`); the default shares join
+    prefixes across CNs and prunes by the global top-k bound."""
+
 
 class _EngineInstrumentation(ExecutionObserver):
     """Feeds engine hook events into the metrics registry."""
@@ -127,6 +133,14 @@ class _EngineInstrumentation(ExecutionObserver):
             buckets=STAGE_BUCKETS,
             stage=stage,
         )
+        self._prefix_hits = registry.counter(
+            "repro_prefix_hits_total",
+            "CN evaluations that borrowed a materialized shared join prefix",
+        )
+        self._cns_pruned = registry.counter(
+            "repro_cns_pruned_total",
+            "Candidate networks skipped by the global top-k bound",
+        )
 
     # SearchHooks callbacks ------------------------------------------------
     def search_complete(self, query, result: SearchResult, seconds: float) -> None:
@@ -134,6 +148,10 @@ class _EngineInstrumentation(ExecutionObserver):
         self._searches.inc()
         self._latency.observe(seconds)
         self._results.inc(len(result.mttons))
+        if result.metrics.prefix_hits:
+            self._prefix_hits.inc(result.metrics.prefix_hits)
+        if result.metrics.cns_pruned:
+            self._cns_pruned.inc(result.metrics.cns_pruned)
         for stage, stage_seconds in result.metrics.stage_seconds.items():
             self._stage_seconds(stage).observe(stage_seconds)
 
@@ -194,6 +212,7 @@ class QueryService:
         self._engine_factory = engine_factory or (
             lambda db, hooks: XKeyword(
                 db,
+                executor_config=ExecutorConfig(strategy=self.config.strategy),
                 threads=self.config.engine_threads,
                 hooks=hooks,
                 verifier=DebugVerifier() if self.config.debug_verify else None,

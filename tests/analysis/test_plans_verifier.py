@@ -350,3 +350,82 @@ class TestDebugVerifier:
                 QUERY.keywords,
                 small_dblp_db.catalog.tss,
             )
+
+
+class TestRV311SharedPrefixes:
+    """The scheduler's prefix assignments re-verify from scratch."""
+
+    def assigned(self, plans):
+        from repro.core import assign_shared_prefixes
+
+        assignments = assign_shared_prefixes(plans)
+        if not assignments:
+            pytest.skip("query produced no shared prefixes")
+        index, prefix = next(iter(assignments.items()))
+        return plans[index], prefix
+
+    def test_real_assignments_pass(self, plans):
+        from repro.core import assign_shared_prefixes
+        from repro.analysis.plans import shared_prefix_violations
+
+        assignments = assign_shared_prefixes(plans)
+        assert assignments
+        for index, prefix in assignments.items():
+            assert shared_prefix_violations(plans[index], prefix) == []
+            DebugVerifier().check_shared_prefix(plans[index], prefix)
+
+    def test_tampered_key(self, plans):
+        from repro.analysis.plans import shared_prefix_violations
+
+        plan, prefix = self.assigned(plans)
+        tampered = replace(prefix, key=(("bogus",), (), ()))
+        assert "RV311" in rules_of(shared_prefix_violations(plan, tampered))
+
+    def test_out_of_range_length(self, plans):
+        from repro.analysis.plans import shared_prefix_violations
+
+        plan, prefix = self.assigned(plans)
+        tampered = replace(prefix, length=len(plan.steps) + 1)
+        assert "RV311" in rules_of(shared_prefix_violations(plan, tampered))
+
+    def test_non_injective_roles(self, plans):
+        from repro.analysis.plans import shared_prefix_violations
+
+        plan, prefix = self.assigned(plans)
+        roles = prefix.roles_by_slot
+        if len(roles) < 2:
+            pytest.skip("single-slot prefix cannot be made non-injective")
+        tampered = replace(prefix, roles_by_slot=(roles[0],) * len(roles))
+        assert "RV311" in rules_of(shared_prefix_violations(plan, tampered))
+
+    def test_unknown_role(self, plans):
+        from repro.analysis.plans import shared_prefix_violations
+
+        plan, prefix = self.assigned(plans)
+        roles = prefix.roles_by_slot
+        tampered = replace(prefix, roles_by_slot=(99, *roles[1:]))
+        assert "RV311" in rules_of(shared_prefix_violations(plan, tampered))
+
+    def test_borrowing_by_a_foreign_plan_fails(self, plans):
+        """A prefix handed to a plan with a *different* first-steps
+        signature must be rejected — the soundness core of RV311."""
+        from repro.core import prefix_spec
+        from repro.analysis.plans import shared_prefix_violations
+
+        specs = [(plan, prefix_spec(plan, 1)) for plan in plans]
+        specs = [(plan, spec) for plan, spec in specs if spec is not None]
+        for plan, _ in specs:
+            for other, foreign in specs:
+                if foreign.key != prefix_spec(plan, 1).key:
+                    assert "RV311" in rules_of(
+                        shared_prefix_violations(plan, foreign)
+                    )
+                    return
+        pytest.skip("every plan shares one length-1 signature")
+
+    def test_debug_verifier_raises(self, plans):
+        plan, prefix = self.assigned(plans)
+        tampered = replace(prefix, key=(("bogus",), (), ()))
+        with pytest.raises(InvariantError) as excinfo:
+            DebugVerifier().check_shared_prefix(plan, tampered)
+        assert any(v.rule == "RV311" for v in excinfo.value.violations)

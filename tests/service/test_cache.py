@@ -121,6 +121,7 @@ class TestInvalidation:
         assert cache.stats().invalidations == 3
 
 
+@pytest.mark.stress
 class TestThreadSafety:
     def test_concurrent_mixed_operations(self):
         cache = QueryCache(capacity=32, ttl=None)

@@ -95,6 +95,7 @@ class TestExposition:
         assert 'label="say \\"hi\\"\\n"' in registry.render()
 
 
+@pytest.mark.stress
 class TestThreadSafety:
     def test_concurrent_increments_lose_nothing(self):
         counter = MetricsRegistry().counter("c_total")

@@ -2,8 +2,11 @@
 
 import threading
 
+import pytest
 
 from repro.core import KeywordQuery, ResultCache, XKeyword
+
+pytestmark = pytest.mark.stress
 
 
 class TestConcurrentSearches:
