@@ -26,9 +26,12 @@ sys.path.insert(0, str(Path(__file__).parent))
 import common
 from repro.baselines import BanksSearcher
 from repro.core import XKeyword
-from repro.decomposition import FragmentClass, classify_fragment
+from repro.decomposition import FragmentClass, classify_fragment, minimal_decomposition
 from repro.schema import dblp_catalog
-from repro.storage import Database, RelationStore
+from repro.service import QueryService, ServiceConfig
+from repro.storage import Database, RelationStore, load_database
+from repro.updates import UpdateManager
+from repro.workloads import DBLPConfig, generate_dblp
 
 # Every numeric series the figures print, keyed "section/row/column".
 # ``better`` says which direction is an improvement, so the regression
@@ -298,6 +301,80 @@ def baselines_report(repeats: int) -> None:
     )
 
 
+def updates_report(repeats: int) -> None:
+    """Live updates: in-place mutation latency vs. a full reload, plus
+    cross-query cache retention across unrelated mutations.
+
+    A private database is built (same scale) because mutations would
+    corrupt the memoized shared one the other sections reuse.
+    """
+    catalog = dblp_catalog()
+    graph = generate_dblp(
+        DBLPConfig(
+            papers=common.SCALE.papers,
+            authors=common.SCALE.authors,
+            avg_citations=common.SCALE.avg_citations,
+            seed=common.SCALE.seed,
+        )
+    )
+    decompositions = [minimal_decomposition(catalog.tss)]
+    loaded = load_database(graph, catalog, decompositions)
+    manager = UpdateManager(loaded)
+    serial = [0]
+
+    def one_update() -> None:
+        serial[0] += 1
+        manager.update_document(
+            "p9",
+            f'<paper id="p9" ref="a4 p3">'
+            f'<title id="p9t">incremental probe {serial[0]}</title>'
+            f'<pages id="p9g">1-2</pages></paper>',
+        )
+
+    one_update()  # warm sqlite page and scan caches before timing
+    update_seconds = timed(one_update, max(repeats, 3))
+    reload_seconds = timed(
+        lambda: load_database(
+            loaded.graph, catalog, decompositions, database=Database()
+        ),
+        repeats,
+    )
+    speedup = reload_seconds / update_seconds
+
+    service = QueryService(loaded, ServiceConfig(workers=2, cache_ttl=None))
+    try:
+        queries = [list(query.keywords) for query in common.bench_queries()]
+        for keywords in queries:
+            service.search(keywords, k=10)
+        replays = hits = 0
+        for round_number in range(3):
+            service.insert_document(
+                f'<author id="rr{round_number}">'
+                f'<aname id="rr{round_number}n">unrelated {round_number}</aname>'
+                "</author>"
+            )
+            for keywords in queries:
+                replays += 1
+                hits += bool(service.search(keywords, k=10)["cached"])
+        retention = hits / replays if replays else 0.0
+    finally:
+        service.close()
+
+    record_metric("updates/single_update_ms", update_seconds * 1000)
+    record_metric("updates/update_vs_reload_speedup", speedup, "higher")
+    record_metric("updates/cache_retention", retention, "higher")
+    table(
+        "Live updates - incremental maintenance vs full reload",
+        ["metric", "value"],
+        [
+            ["single in-place update (ms)", f"{update_seconds * 1000:.1f}"],
+            ["full reload (ms)", f"{reload_seconds * 1000:.1f}"],
+            ["update vs reload speedup", f"{speedup:.1f}x"],
+            ["cache hit-rate retention", f"{retention:.2f}"],
+        ],
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser()
     parser.add_argument("--quick", action="store_true", help="1 repeat per point")
@@ -329,6 +406,7 @@ def main() -> None:
     scheduler_ablation(repeats)
     space_report()
     baselines_report(repeats)
+    updates_report(repeats)
 
     if args.json:
         report = {

@@ -51,6 +51,9 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "xmlgraph",
         }
     ),
+    "updates": frozenset(
+        {"decomposition", "schema", "storage", "trace", "xmlgraph"}
+    ),
     "service": frozenset(
         {
             "analysis",
@@ -59,6 +62,7 @@ ALLOWED_IMPORTS: dict[str, frozenset[str]] = {
             "schema",
             "storage",
             "trace",
+            "updates",
             "xmlgraph",
         }
     ),

@@ -8,6 +8,9 @@ Usage::
     python -m repro search --catalog tpch --xml fig1.xml "john vcr" --explain
     python -m repro explain --catalog dblp --demo "smith chen"
     python -m repro serve --catalog dblp --demo --port 8080
+    python -m repro update insert --server http://127.0.0.1:8080 --xml new.xml --parent c0y1
+    python -m repro update delete --server http://127.0.0.1:8080 p5
+    python -m repro update replace --server http://127.0.0.1:8080 p7 --xml rev.xml
 
 ``search`` loads the XML into an in-memory SQLite database (the load
 stage), runs the keyword query, and prints ranked MTTONs with their
@@ -16,7 +19,9 @@ the recorded span tree (stage timings, per-CN plans, estimated vs.
 actual cardinality, per-relation lookups).  ``explain`` stops after
 planning and prints the candidate networks and execution plans without
 executing anything.  ``serve`` loads once and answers queries over
-HTTP/JSON until interrupted (see :mod:`repro.service`).
+HTTP/JSON until interrupted (see :mod:`repro.service`); ``update``
+talks to such a server and applies live document mutations
+(:mod:`repro.updates`) without a restart.
 """
 
 from __future__ import annotations
@@ -174,6 +179,36 @@ def _build_parser() -> argparse.ArgumentParser:
         default="shared-prefix+pruning",
         help="cross-CN scheduling strategy for the served engine",
     )
+
+    update = commands.add_parser(
+        "update",
+        help="mutate a running server's database (insert/delete/replace)",
+    )
+    verbs = update.add_subparsers(dest="verb", required=True)
+    insert = verbs.add_parser(
+        "insert", help="add a document fragment (POST /documents)"
+    )
+    insert.add_argument("--xml", required=True, help="XML fragment path or - for stdin")
+    insert.add_argument(
+        "--parent",
+        default=None,
+        help="containment parent node id (omit for a top-level document)",
+    )
+    delete = verbs.add_parser(
+        "delete", help="remove a document subtree (DELETE /documents/<id>)"
+    )
+    delete.add_argument("document_id", help="root node id of the subtree to remove")
+    replace = verbs.add_parser(
+        "replace", help="replace a document subtree (PUT /documents/<id>)"
+    )
+    replace.add_argument("document_id", help="root node id of the subtree to replace")
+    replace.add_argument("--xml", required=True, help="XML fragment path or - for stdin")
+    for verb in (insert, delete, replace):
+        verb.add_argument(
+            "--server",
+            default="http://127.0.0.1:8080",
+            help="base URL of a running `repro serve` instance",
+        )
     return parser
 
 
@@ -405,6 +440,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _read_xml_arg(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def _cmd_update(args: argparse.Namespace) -> int:
+    """Drive a running server's mutation endpoints over HTTP."""
+    import json
+    import urllib.error
+    import urllib.request
+
+    base = args.server.rstrip("/")
+    if args.verb == "insert":
+        body: dict = {"xml": _read_xml_arg(args.xml)}
+        if args.parent is not None:
+            body["parent"] = args.parent
+        url, method, payload = f"{base}/documents", "POST", body
+    elif args.verb == "delete":
+        url, method, payload = f"{base}/documents/{args.document_id}", "DELETE", None
+    else:  # replace
+        url, method, payload = (
+            f"{base}/documents/{args.document_id}",
+            "PUT",
+            {"xml": _read_xml_arg(args.xml)},
+        )
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            report = json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        try:
+            detail = json.loads(exc.read()).get("error", "")
+        except Exception:
+            detail = ""
+        print(f"error: HTTP {exc.code} {detail}".rstrip(), file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {base}: {exc.reason}", file=sys.stderr)
+        return 1
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -413,6 +497,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "explain": _cmd_explain,
         "navigate": _cmd_navigate,
         "serve": _cmd_serve,
+        "update": _cmd_update,
     }
     return handlers[args.command](args)
 

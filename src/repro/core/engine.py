@@ -52,6 +52,11 @@ class SearchResult:
     trace: QueryTrace | None = None
     """The span tree recorded for this search, when a tracer was
     installed on the engine (see :mod:`repro.trace`); ``None`` otherwise."""
+    relations_used: frozenset[str] = frozenset()
+    """Connection relations the planned CNs read — the service cache
+    keys staleness off these under live updates."""
+    epoch: int = 0
+    """The loaded database's mutation epoch when this search ran."""
 
     def top(self, count: int) -> list[MTTON]:
         """First ``count`` ranked results."""
@@ -329,6 +334,7 @@ class XKeyword:
         started = time.perf_counter()
         metrics = ExecutionMetrics()
         result = SearchResult(query, [], metrics)
+        result.epoch = getattr(self.loaded, "epoch", 0)
         if trace.enabled:
             result.trace = trace  # type: ignore[assignment]
 
@@ -410,6 +416,9 @@ class XKeyword:
                 )
                 plan_span.finish()
             planned.append((ctssn, plan, cn_span))
+        result.relations_used = frozenset(
+            name for _, plan, _ in planned for name in plan.relations_used()
+        )
 
         prefixes: dict[int, PrefixSpec] = {}
         prefix_table: SharedPrefixTable | None = None
@@ -512,6 +521,7 @@ class XKeyword:
             trace.root.annotate(
                 results=len(result.mttons),
                 candidate_networks=len(result.candidate_networks),
+                epoch=result.epoch,
             )
             self.tracer.finish(trace)
         if self.hooks.on_search_complete is not None:

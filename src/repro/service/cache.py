@@ -9,13 +9,25 @@ entire pipeline: no containing-list retrieval, no CN generation, no
 planning, no execution.
 
 Keys are ``(database fingerprint, frozen keyword bag, k, max_size,
-mode)``: the fingerprint (storage/fingerprint.py) ties an entry to the
-exact loaded content, so swapping or reloading the database can never
+mode)``: the fingerprint (storage/fingerprint.py) is the database's
+*load-time identity*, so swapping or reloading the database can never
 serve stale trees — the service calls :meth:`QueryCache.invalidate` on
 reload, and even a missed invalidation is safe because the new
 fingerprint simply misses.  The keyword *bag* is order-insensitive
 (keyword order is irrelevant to query semantics), so ``"smith chen"``
 and ``"chen smith"`` share an entry.
+
+Live mutations (:mod:`repro.updates`) do **not** change the
+fingerprint.  Instead the cache is constructed over the service's
+:class:`~repro.storage.fingerprint.VersionVector`: each entry records a
+version snapshot of its query's keywords and the connection relations
+its plans scanned.  An entry is stale exactly when a later mutation
+bumped one of those counters — i.e. the delta's keyword set intersects
+the query's keyword bag, or a relation the plan read was rewritten.
+Everything else survives, which is the whole point of fine-grained
+invalidation: a steady query mix keeps its hit rate across unrelated
+updates.  Staleness is checked lazily on :meth:`get` and swept eagerly
+by :meth:`invalidate_stale` after each mutation.
 
 Entries expire after a TTL and are evicted LRU beyond a capacity, both
 tunable.  All operations are thread-safe.
@@ -31,8 +43,12 @@ from typing import Callable
 
 from ..core.engine import SearchResult
 from ..core.query import KeywordQuery
+from ..storage.fingerprint import VersionVector
 
 CacheKey = tuple[str, tuple[str, ...], object, int, str]
+
+_FRESH = ((), ())
+"""Version snapshot used when no version vector is installed."""
 
 
 def query_cache_key(
@@ -55,6 +71,7 @@ class CacheStats:
     evictions: int = 0
     invalidations: int = 0
     entries: int = 0
+    invalidation_reasons: dict[str, int] = field(default_factory=dict)
 
     @property
     def hit_rate(self) -> float:
@@ -67,6 +84,7 @@ class _Entry:
     result: SearchResult
     fingerprint: str
     expires_at: float
+    snapshot: tuple = _FRESH
     stored_at: float = field(default_factory=time.monotonic)
 
 
@@ -78,6 +96,9 @@ class QueryCache:
             evicted on insert.
         ttl: Seconds an entry stays fresh; ``None`` disables expiry.
         clock: Monotonic time source, injectable for tests.
+        versions: The mutation version vector entries validate against;
+            ``None`` (no live updates) keeps every entry valid until
+            TTL/eviction/reload, exactly the pre-update behavior.
     """
 
     def __init__(
@@ -85,6 +106,7 @@ class QueryCache:
         capacity: int = 256,
         ttl: float | None = 300.0,
         clock: Callable[[], float] = time.monotonic,
+        versions: VersionVector | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("cache capacity must be positive")
@@ -92,6 +114,7 @@ class QueryCache:
             raise ValueError("ttl must be positive (or None to disable)")
         self.capacity = capacity
         self.ttl = ttl
+        self.versions = versions
         self._clock = clock
         self._lock = threading.Lock()
         self._entries: OrderedDict[CacheKey, _Entry] = OrderedDict()  # guarded by: self._lock
@@ -100,10 +123,12 @@ class QueryCache:
         self._expirations = 0  # guarded by: self._lock
         self._evictions = 0  # guarded by: self._lock
         self._invalidations = 0  # guarded by: self._lock
+        self._invalidation_reasons: dict[str, int] = {}  # guarded by: self._lock
 
     # ------------------------------------------------------------------
     def get(self, key: CacheKey) -> SearchResult | None:
-        """Return the cached entry for ``key`` if present and fresh."""
+        """Return the cached entry for ``key`` if present, fresh, and
+        untouched by any mutation since it was stored."""
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
@@ -114,16 +139,42 @@ class QueryCache:
                 self._expirations += 1
                 self._misses += 1
                 return None
+            if self.versions is not None:
+                reason = self.versions.stale_reason(entry.snapshot)
+                if reason is not None:
+                    del self._entries[key]
+                    self._invalidations += 1
+                    self._invalidation_reasons[reason] = (
+                        self._invalidation_reasons.get(reason, 0) + 1
+                    )
+                    self._misses += 1
+                    return None
             self._entries.move_to_end(key)
             self._hits += 1
             return entry.result
 
-    def put(self, key: CacheKey, result: SearchResult) -> None:
-        """Store ``value`` under ``key``, evicting LRU entries past capacity."""
+    def put(
+        self,
+        key: CacheKey,
+        result: SearchResult,
+        keywords=(),
+        relations=(),
+    ) -> None:
+        """Store ``result`` under ``key``, evicting LRU entries past capacity.
+
+        ``keywords``/``relations`` name what the result depends on; the
+        entry snapshots their current mutation versions so later deltas
+        touching them (and only them) invalidate it.
+        """
         now = self._clock()
         expires = now + self.ttl if self.ttl is not None else float("inf")
+        snapshot = (
+            self.versions.snapshot(keywords, relations)
+            if self.versions is not None
+            else _FRESH
+        )
         with self._lock:
-            self._entries[key] = _Entry(result, key[0], expires, now)
+            self._entries[key] = _Entry(result, key[0], expires, snapshot, now)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
@@ -147,7 +198,36 @@ class QueryCache:
                     del self._entries[key]
                 dropped = len(stale)
             self._invalidations += dropped
+            if dropped:
+                self._invalidation_reasons["reload"] = (
+                    self._invalidation_reasons.get("reload", 0) + dropped
+                )
             return dropped
+
+    def invalidate_stale(self) -> dict[str, int]:
+        """Eagerly sweep entries a mutation made stale.
+
+        Returns dropped counts per reason (``keyword``/``relation``).
+        The service calls this after every mutation so memory is freed
+        immediately instead of waiting for a lazy ``get``.
+        """
+        if self.versions is None:
+            return {}
+        dropped: dict[str, int] = {}
+        with self._lock:
+            stale = [
+                (key, reason)
+                for key, entry in self._entries.items()
+                if (reason := self.versions.stale_reason(entry.snapshot)) is not None
+            ]
+            for key, reason in stale:
+                del self._entries[key]
+                self._invalidations += 1
+                self._invalidation_reasons[reason] = (
+                    self._invalidation_reasons.get(reason, 0) + 1
+                )
+                dropped[reason] = dropped.get(reason, 0) + 1
+        return dropped
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -164,4 +244,5 @@ class QueryCache:
                 evictions=self._evictions,
                 invalidations=self._invalidations,
                 entries=len(self._entries),
+                invalidation_reasons=dict(self._invalidation_reasons),
             )

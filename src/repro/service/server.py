@@ -8,10 +8,21 @@ This module turns one loaded database into a serving process:
 
 * ``POST /search``   — ranked MTTONs as JSON (top-k or all-results);
 * ``GET  /expand``   — on-demand presentation-graph navigation;
-* ``GET  /healthz``  — liveness + database identity;
+* ``POST   /documents``       — insert a document (live update);
+* ``PUT    /documents/<id>``  — replace a document in place;
+* ``DELETE /documents/<id>``  — delete a document's subtree;
+* ``GET  /healthz``  — liveness + database identity + index epoch;
 * ``GET  /metrics``  — Prometheus text exposition;
 * ``GET  /debug/traces``      — recent query traces (id, query, latency);
 * ``GET  /debug/trace/<id>``  — one full span tree as JSON.
+
+Mutations go through the :class:`~repro.updates.UpdateManager`:
+incremental maintenance of every storage artifact under single-writer /
+multi-reader discipline (searches hold the read side, so they never see
+a torn index), followed by a fine-grained cache sweep that drops only
+entries whose keyword bag or executed relations the delta touched.
+Databases reopened from persisted metadata (no XML graph) serve
+read-only and answer mutations with 409.
 
 Every computed (non-cached) ``/search`` answer carries the trace id of
 the span tree that produced it, both in the payload and as an
@@ -38,6 +49,7 @@ import json
 import sys
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qs, urlparse
@@ -52,11 +64,16 @@ from ..core import (
     SearchResult,
     XKeyword,
 )
-from ..storage import LoadedDatabase
+from ..storage import LoadedDatabase, VersionVector
 from ..trace import NULL_TRACER, TraceStore, Tracer
+from ..updates import UpdateManager
 from .admission import AdmissionController, DeadlineExceededError, RejectedError
 from .cache import QueryCache, query_cache_key
 from .metrics import STAGE_BUCKETS, MetricsRegistry
+
+
+class MutationsDisabledError(Exception):
+    """Raised when a mutation hits a read-only (graph-less) database."""
 
 
 @dataclass
@@ -176,6 +193,9 @@ class _EngineState:
     loaded: LoadedDatabase
     fingerprint: str
     engine: XKeyword
+    updates: UpdateManager | None = None
+    """Live-update manager; ``None`` when the database is read-only
+    (reopened without its XML graph)."""
 
 
 class QueryService:
@@ -219,10 +239,13 @@ class QueryService:
                 tracer=self.tracer,
             )
         )
+        self.versions = VersionVector()
         self._swap_lock = threading.Lock()
         self._state = self._build_state(loaded)  # guarded by: self._swap_lock [writes]
         self.cache = QueryCache(
-            capacity=self.config.cache_capacity, ttl=self.config.cache_ttl
+            capacity=self.config.cache_capacity,
+            ttl=self.config.cache_ttl,
+            versions=self.versions,
         )
         self.admission = AdmissionController(
             workers=self.config.workers,
@@ -255,12 +278,31 @@ class QueryService:
             "repro_slow_queries_total",
             "Searches slower than the slow-query threshold",
         )
+        self._mutations = lambda op: self.registry.counter(
+            "repro_mutations_total", "Live document mutations by operation", op=op
+        )
+        self._mutation_seconds = lambda op: self.registry.histogram(
+            "repro_mutation_seconds", "Mutation latency by operation", op=op
+        )
+        self._cache_invalidations = lambda reason: self.registry.counter(
+            "repro_cache_invalidations_total",
+            "Cross-query cache entries invalidated, by reason",
+            reason=reason,
+        )
+        self._invalidation_lock = threading.Lock()
+        self._invalidation_mirrored: dict[str, int] = {}  # guarded by: self._invalidation_lock
 
     def _build_state(self, loaded: LoadedDatabase) -> _EngineState:
+        updates = None
+        if loaded.graph is not None:
+            updates = UpdateManager(
+                loaded, versions=self.versions, tracer=self.tracer
+            )
         return _EngineState(
             loaded=loaded,
             fingerprint=loaded.fingerprint(),
             engine=self._engine_factory(loaded, self._instrumentation.hooks()),
+            updates=updates,
         )
 
     # Read-only views of the current generation; in-flight requests must
@@ -320,12 +362,19 @@ class QueryService:
         self._cache_misses.inc()
 
         def execute() -> SearchResult:
-            if all_results:
-                return state.engine.search_all(query)
-            return state.engine.search(query, k=k)
+            # The read side of the update lock: a concurrent mutation
+            # waits for in-flight searches, and searches queued behind a
+            # waiting writer see the fully published next epoch.
+            guard = state.updates.read() if state.updates is not None else nullcontext()
+            with guard:
+                if all_results:
+                    return state.engine.search_all(query)
+                return state.engine.search(query, k=k)
 
         result = self.admission.run(execute, deadline=deadline)
-        self.cache.put(key, result)
+        self.cache.put(
+            key, result, keywords=query.keywords, relations=result.relations_used
+        )
         seconds = time.perf_counter() - started
         self._log_if_slow(result, seconds)
         return self._payload(result, k, seconds, False)
@@ -420,9 +469,16 @@ class QueryService:
             deadline: Per-request deadline override.
         """
 
+        state = self._state
+
         def execute() -> dict:
+            guard = state.updates.read() if state.updates is not None else nullcontext()
+            with guard:
+                return navigate()
+
+        def navigate() -> dict:
             query = KeywordQuery(tuple(keywords), max_size=max_size)
-            engine = self._state.engine
+            engine = state.engine
             containing = engine.containing_lists(query)
             ctssns = engine.candidate_tss_networks(query, containing)
             if not ctssns:
@@ -477,6 +533,66 @@ class QueryService:
         return self.admission.run(execute, deadline=deadline)
 
     # ------------------------------------------------------------------
+    # Live mutations
+    # ------------------------------------------------------------------
+    def insert_document(self, xml_text: str, parent_id: str | None = None) -> dict:
+        """``POST /documents``: insert a document (under ``parent_id``)."""
+        return self._mutate(
+            "insert",
+            lambda updates: updates.insert_document(xml_text, parent_id=parent_id),
+        )
+
+    def delete_document(self, document_id: str) -> dict:
+        """``DELETE /documents/<id>``: remove a document's subtree."""
+        return self._mutate(
+            "delete", lambda updates: updates.delete_document(document_id)
+        )
+
+    def update_document(self, document_id: str, xml_text: str) -> dict:
+        """``PUT /documents/<id>``: replace a document in place."""
+        return self._mutate(
+            "update", lambda updates: updates.update_document(document_id, xml_text)
+        )
+
+    def _mutate(self, op: str, action) -> dict:
+        """Run one mutation, meter it, and sweep the newly stale cache.
+
+        Mutations bypass the admission pool: the update manager's
+        writer-preferring lock already serializes them against each
+        other and against in-flight searches.
+        """
+        state = self._state
+        if state.updates is None:
+            raise MutationsDisabledError(
+                "database was reopened without its XML graph; serving read-only"
+            )
+        started = time.perf_counter()
+        report = action(state.updates)
+        self._mutations(op).inc()
+        self._mutation_seconds(op).observe(time.perf_counter() - started)
+        dropped = self.cache.invalidate_stale()
+        self._sync_invalidation_metrics()
+        payload = report.to_dict()
+        payload["cache_entries_dropped"] = sum(dropped.values())
+        payload["cache_invalidation_reasons"] = dropped
+        return payload
+
+    def _sync_invalidation_metrics(self) -> None:
+        """Mirror the cache's per-reason invalidation totals as counters.
+
+        The cache counts invalidations internally (both lazy ``get``
+        drops and eager sweeps); this reconciles the Prometheus counters
+        to those totals without double counting.
+        """
+        reasons = self.cache.stats().invalidation_reasons
+        with self._invalidation_lock:
+            for reason, total in reasons.items():
+                seen = self._invalidation_mirrored.get(reason, 0)
+                if total > seen:
+                    self._cache_invalidations(reason).inc(total - seen)
+                    self._invalidation_mirrored[reason] = total
+
+    # ------------------------------------------------------------------
     def trace_payload(self, trace_id: str) -> dict:
         """One stored span tree as JSON (``GET /debug/trace/<id>``).
 
@@ -501,8 +617,9 @@ class QueryService:
 
     # ------------------------------------------------------------------
     def healthz(self) -> dict:
-        """Liveness payload: database fingerprint, uptime, queue stats."""
+        """Liveness payload: database identity, index epoch, queue stats."""
         state = self._state
+        snapshot = state.updates.snapshot() if state.updates is not None else None
         return {
             "status": "ok",
             "uptime_seconds": round(time.time() - self.started_at, 3),
@@ -512,6 +629,10 @@ class QueryService:
             "queue_depth": self.admission.queue_depth(),
             "in_flight": self.admission.in_flight,
             "cache_entries": len(self.cache),
+            "mutations_enabled": state.updates is not None,
+            "index_epoch": snapshot.epoch if snapshot else state.loaded.epoch,
+            "document_count": snapshot.document_count if snapshot else None,
+            "last_mutation_at": snapshot.last_mutation_at if snapshot else None,
         }
 
     def metrics_text(self) -> str:
@@ -533,6 +654,12 @@ class QueryService:
         self.registry.gauge(
             "repro_admission_expired_total", "Requests expired while queued"
         ).set(admission.expired)
+        state = self._state
+        snapshot = state.updates.snapshot() if state.updates is not None else None
+        self.registry.gauge(
+            "repro_index_epoch", "Mutation epoch of the served index"
+        ).set(snapshot.epoch if snapshot else state.loaded.epoch)
+        self._sync_invalidation_metrics()
         return self.registry.render()
 
     def close(self) -> None:
@@ -592,6 +719,29 @@ class _Handler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         if parsed.path == "/search":
             self._handle("search", self._search)
+        elif parsed.path == "/documents":
+            self._handle("insert_document", self._insert_document)
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_PUT(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path.startswith("/documents/"):
+            document_id = parsed.path[len("/documents/"):]
+            self._handle(
+                "update_document", lambda: self._update_document(document_id)
+            )
+        else:
+            self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        if parsed.path.startswith("/documents/"):
+            document_id = parsed.path[len("/documents/"):]
+            self._handle(
+                "delete_document",
+                lambda: self.service.delete_document(document_id),
+            )
         else:
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
@@ -611,6 +761,25 @@ class _Handler(BaseHTTPRequestHandler):
             all_results=bool(body.get("all", False)),
             deadline=float(deadline) if deadline is not None else None,
         )
+
+    def _insert_document(self) -> dict:
+        body = self._read_body()
+        xml_text = body.get("xml")
+        if not xml_text or not isinstance(xml_text, str):
+            raise ValueError('body needs "xml": "<element .../>"')
+        parent = body.get("parent")
+        return self.service.insert_document(
+            xml_text, parent_id=str(parent) if parent is not None else None
+        )
+
+    def _update_document(self, document_id: str) -> dict:
+        if not document_id:
+            raise ValueError("document id missing from path")
+        body = self._read_body()
+        xml_text = body.get("xml")
+        if not xml_text or not isinstance(xml_text, str):
+            raise ValueError('body needs "xml": "<element .../>"')
+        return self.service.update_document(document_id, xml_text)
 
     def _expand(self, params: dict[str, list[str]]) -> dict:
         if "q" not in params:
@@ -647,6 +816,9 @@ class _Handler(BaseHTTPRequestHandler):
         except DeadlineExceededError as exc:
             status = 504
             self.service.count_deadline_exceeded()
+            self._send_json(status, {"error": str(exc)})
+        except MutationsDisabledError as exc:
+            status = 409
             self._send_json(status, {"error": str(exc)})
         except ValueError as exc:
             status = 400

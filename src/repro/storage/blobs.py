@@ -42,6 +42,34 @@ class BlobStore:
         self.database.commit()
         return len(rows)
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the update subsystem's delta surface)
+    # ------------------------------------------------------------------
+    def store_for(self, graph: XMLGraph, to_graph: TargetObjectGraph, to_ids) -> int:
+        """(Re-)serialize the given target objects; the caller commits."""
+        rows = []
+        for to_id in sorted(set(to_ids)):
+            tss_name = to_graph.tss_of_to[to_id]
+            members = set(to_graph.members_of_to.get(to_id, ()))
+            rows.append((to_id, tss_name, serialize_subtree(graph, to_id, include=members)))
+        self.database.executemany(
+            f"INSERT OR REPLACE INTO {self.TABLE} VALUES (?, ?, ?)", rows
+        )
+        return len(rows)
+
+    def remove(self, to_ids) -> int:
+        """Drop the BLOBs of deleted target objects; the caller commits."""
+        ids = sorted(set(to_ids))
+        removed = 0
+        for start in range(0, len(ids), 400):
+            chunk = ids[start:start + 400]
+            placeholders = ", ".join("?" for _ in chunk)
+            cursor = self.database.execute(
+                f"DELETE FROM {self.TABLE} WHERE to_id IN ({placeholders})", chunk
+            )
+            removed += max(0, cursor.rowcount)
+        return removed
+
     def fetch(self, to_id: str) -> tuple[str, str]:
         """Return ``(tss name, xml)`` for one target object."""
         row = self.database.query_one(

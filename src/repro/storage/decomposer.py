@@ -56,6 +56,10 @@ class LoadedDatabase:
     statistics: Statistics
     stores: dict[str, RelationStore]
     report: LoadReport
+    epoch: int = 0
+    """Mutation counter; the update subsystem bumps it per mutation."""
+    index_tags: bool = False
+    """Whether the master index also indexes element tags."""
 
     def store(self, decomposition_name: str) -> RelationStore:
         try:
@@ -149,4 +153,5 @@ def load_database(
         statistics=statistics,
         stores=stores,
         report=report,
+        index_tags=index_tags,
     )

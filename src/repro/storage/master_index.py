@@ -82,6 +82,71 @@ class MasterIndex:
         return len(rows)
 
     # ------------------------------------------------------------------
+    # Incremental maintenance (the update subsystem's delta surface)
+    # ------------------------------------------------------------------
+    def add_entries(
+        self,
+        nodes,
+        to_of_node,
+        text_nodes: frozenset[str],
+        index_tags: bool = False,
+    ) -> tuple[int, set[str]]:
+        """Index a batch of new nodes; the caller commits.
+
+        Args:
+            nodes: Iterable of :class:`~repro.xmlgraph.model.Node`.
+            to_of_node: Mapping (or callable-free dict) from node id to
+                owning target-object id; unmapped nodes are skipped.
+            text_nodes: Labels whose values are indexed.
+            index_tags: Also index element tags as keywords.
+
+        Returns:
+            ``(entries written, distinct keywords touched)``.
+        """
+        rows: set[tuple[str, str, str, str]] = set()
+        for node in nodes:
+            to_id = to_of_node.get(node.node_id)
+            if to_id is None:
+                continue
+            tokens: set[str] = set()
+            if node.label in text_nodes and node.value:
+                tokens.update(tokenize(node.value))
+            if index_tags:
+                tokens.update(tokenize(node.label))
+            for token in tokens:
+                rows.add((token, to_id, node.node_id, node.label))
+        self.database.executemany(
+            f"INSERT OR IGNORE INTO {self.TABLE} VALUES (?, ?, ?, ?)", sorted(rows)
+        )
+        return len(rows), {row[0] for row in rows}
+
+    def remove_entries(self, node_ids) -> tuple[int, set[str]]:
+        """Drop every entry of the given nodes; the caller commits.
+
+        Returns:
+            ``(entries removed, distinct keywords touched)``.
+        """
+        ids = sorted(set(node_ids))
+        removed = 0
+        keywords: set[str] = set()
+        for start in range(0, len(ids), 400):
+            chunk = ids[start:start + 400]
+            placeholders = ", ".join("?" for _ in chunk)
+            keywords.update(
+                row[0]
+                for row in self.database.query(
+                    f"SELECT DISTINCT keyword FROM {self.TABLE} "
+                    f"WHERE node_id IN ({placeholders})",
+                    chunk,
+                )
+            )
+            cursor = self.database.execute(
+                f"DELETE FROM {self.TABLE} WHERE node_id IN ({placeholders})", chunk
+            )
+            removed += max(0, cursor.rowcount)
+        return removed, keywords
+
+    # ------------------------------------------------------------------
     def containing_list(self, keyword: str) -> list[IndexEntry]:
         """The containing list L(k) of one keyword."""
         rows = self.database.query(

@@ -81,6 +81,69 @@ def has_metadata(database: Database) -> bool:
     return database.table_exists(_TO_TABLE)
 
 
+def apply_metadata_delta(
+    database: Database,
+    removed_node_ids=(),
+    removed_to_ids=(),
+    removed_edge_keys=(),
+    new_target_objects=(),
+    new_members=(),
+    new_instances=(),
+) -> None:
+    """Mirror one incremental mutation into the persisted metadata tables.
+
+    No-op when the database was never persisted.  The caller commits.
+
+    Args:
+        removed_node_ids: XML node ids whose member rows vanish.
+        removed_to_ids: Target-object ids whose TO rows vanish.
+        removed_edge_keys: ``(edge_id, source_to, target_to)`` triples.
+        new_target_objects: ``(to_id, tss_name)`` pairs.
+        new_members: ``(node_id, to_id)`` pairs.
+        new_instances: :class:`EdgeInstance` objects (added or re-pathed).
+    """
+    if not has_metadata(database):
+        return
+    for table, key_column, ids in (
+        (_MEMBER_TABLE, "node_id", sorted(set(removed_node_ids))),
+        (_TO_TABLE, "to_id", sorted(set(removed_to_ids))),
+    ):
+        for start in range(0, len(ids), 400):
+            chunk = ids[start:start + 400]
+            placeholders = ", ".join("?" for _ in chunk)
+            database.execute(
+                f"DELETE FROM {table} WHERE {key_column} IN ({placeholders})", chunk
+            )
+    for edge_id, source_to, target_to in sorted(set(removed_edge_keys)):
+        database.execute(
+            f"DELETE FROM {_EDGE_TABLE} "
+            "WHERE edge_id = ? AND source_to = ? AND target_to = ?",
+            (edge_id, source_to, target_to),
+        )
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_TO_TABLE} VALUES (?, ?)",
+        sorted(set(new_target_objects)),
+    )
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_MEMBER_TABLE} VALUES (?, ?)",
+        sorted(set(new_members)),
+    )
+    database.executemany(
+        f"INSERT OR REPLACE INTO {_EDGE_TABLE} VALUES (?, ?, ?, ?)",
+        sorted(
+            {
+                (
+                    instance.edge_id,
+                    instance.source_to,
+                    instance.target_to,
+                    "\x1f".join(instance.node_path),
+                )
+                for instance in new_instances
+            }
+        ),
+    )
+
+
 def load_metadata(database: Database, catalog: Catalog) -> TargetObjectGraph:
     """Rebuild the target-object graph from persisted metadata."""
     if not has_metadata(database):

@@ -37,17 +37,27 @@ _POLICY_CODES = {
 
 
 def fragment_instances(
-    fragment: Fragment, to_graph: TargetObjectGraph
+    fragment: Fragment,
+    to_graph: TargetObjectGraph,
+    anchor: tuple[int, str] | None = None,
 ) -> Iterator[tuple[str, ...]]:
     """All embeddings of a fragment into the target-object graph.
 
     Rows are tuples of target-object ids in role order; roles must bind
     distinct target objects (a fragment instance is a *subgraph* of the
     target-object graph).
+
+    Args:
+        anchor: Optional ``(role, to_id)`` pair pinning one role to one
+            target object.  Enumeration then walks outward from the
+            anchor, yielding exactly the embeddings containing that
+            target object in that role — the update subsystem's way to
+            recompute only rows touched by a delta.
     """
-    order: list[tuple[int, object]] = [(0, None)]
-    seen = {0}
-    frontier = [0]
+    start = anchor[0] if anchor is not None else 0
+    order: list[tuple[int, object]] = [(start, None)]
+    seen = {start}
+    frontier = [start]
     while frontier:
         role = frontier.pop()
         for edge in fragment.incident(role):
@@ -65,13 +75,16 @@ def fragment_instances(
             return
         role, via = order[index]
         if via is None:
-            candidates = to_graph.target_objects(fragment.labels[role])
-        else:
-            anchor = assignment[via.other(role)]  # type: ignore[union-attr]
-            if via.oriented_from(via.other(role)):  # type: ignore[union-attr]
-                candidates = to_graph.targets(via.edge_id, anchor)  # type: ignore[union-attr]
+            if anchor is not None:
+                candidates = [anchor[1]]
             else:
-                candidates = to_graph.sources(via.edge_id, anchor)  # type: ignore[union-attr]
+                candidates = to_graph.target_objects(fragment.labels[role])
+        else:
+            bound = assignment[via.other(role)]  # type: ignore[union-attr]
+            if via.oriented_from(via.other(role)):  # type: ignore[union-attr]
+                candidates = to_graph.targets(via.edge_id, bound)  # type: ignore[union-attr]
+            else:
+                candidates = to_graph.sources(via.edge_id, bound)  # type: ignore[union-attr]
         taken = set(assignment.values())
         for candidate in candidates:
             if candidate in taken:
@@ -234,10 +247,80 @@ class RelationStore:
             self._hash_indexes[cache_key] = index
         return index
 
-    def drop_memory_caches(self) -> None:
-        """Forget cached scans and hash indexes (after reloads)."""
-        self._scan_cache.clear()
-        self._hash_indexes.clear()
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the update subsystem's delta surface)
+    # ------------------------------------------------------------------
+    def rows_containing(
+        self, fragment: Fragment, to_ids
+    ) -> set[tuple[str, ...]]:
+        """Existing rows binding any of the given target objects."""
+        ids = sorted(set(to_ids))
+        if not ids:
+            return set()
+        base = self.base_table(fragment)
+        select = ", ".join(quote_identifier(c) for c in fragment.columns)
+        rows: set[tuple[str, ...]] = set()
+        for column in fragment.columns:
+            for start in range(0, len(ids), 400):
+                chunk = ids[start:start + 400]
+                placeholders = ", ".join("?" for _ in chunk)
+                rows.update(
+                    self.database.query(
+                        f"SELECT {select} FROM {base} "
+                        f"WHERE {quote_identifier(column)} IN ({placeholders})",
+                        chunk,
+                    )
+                )
+        return rows
+
+    def apply_row_delta(self, fragment: Fragment, remove_rows, add_rows) -> None:
+        """Delete/insert exact rows in every physical table; caller commits.
+
+        Rows are matched on *all* columns, which on clustered
+        (``WITHOUT ROWID``) rotation copies is a primary-key point
+        delete — the delta stays proportional to its own size, not to
+        the relation.  Heap tables pay one scan per removed row, but
+        deltas are small by construction.
+        """
+        for table in self.physical_tables(fragment):
+            projection = [fragment.columns.index(c) for c in table.columns]
+            if remove_rows:
+                predicate = " AND ".join(
+                    f"{quote_identifier(c)} = ?" for c in table.columns
+                )
+                self.database.executemany(
+                    f"DELETE FROM {table.name} WHERE {predicate}",
+                    [tuple(row[p] for p in projection) for row in remove_rows],
+                )
+            if add_rows:
+                placeholders = ", ".join("?" for _ in table.columns)
+                self.database.executemany(
+                    f"INSERT OR IGNORE INTO {table.name} VALUES ({placeholders})",
+                    [tuple(row[p] for p in projection) for row in add_rows],
+                )
+        self.drop_memory_caches([fragment.relation_name])
+
+    def drop_memory_caches(self, relations=None) -> None:
+        """Forget cached scans and hash indexes.
+
+        Args:
+            relations: Relation names to forget; ``None`` (reloads)
+                forgets everything.  The update subsystem passes the
+                touched relations so untouched in-memory scans survive a
+                mutation.
+        """
+        if relations is None:
+            self._scan_cache.clear()
+            self._hash_indexes.clear()
+            return
+        names = set(relations)
+        for name in names:
+            self._scan_cache.pop(name, None)
+        self._hash_indexes = {
+            key: index
+            for key, index in self._hash_indexes.items()
+            if key[0] not in names
+        }
 
     def row_count(self, fragment: Fragment) -> int:
         return self.database.row_count(self.base_table(fragment))

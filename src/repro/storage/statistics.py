@@ -40,6 +40,22 @@ class Statistics:
             )
         return stats
 
+    def refresh_from(self, to_graph: TargetObjectGraph) -> None:
+        """Recompute all statistics in place after an incremental mutation.
+
+        In place so the optimizer's live reference stays valid — the
+        engine is built once against this object and never rebuilt.
+        """
+        fresh = Statistics.from_target_object_graph(to_graph)
+        for mine, theirs in (
+            (self.tss_counts, fresh.tss_counts),
+            (self.edge_counts, fresh.edge_counts),
+            (self.avg_fanout, fresh.avg_fanout),
+            (self.avg_fanin, fresh.avg_fanin),
+        ):
+            mine.clear()
+            mine.update(theirs)
+
     def count(self, tss_name: str) -> int:
         """s(S): target objects of one TSS."""
         return self.tss_counts.get(tss_name, 0)

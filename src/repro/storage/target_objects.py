@@ -41,6 +41,14 @@ class TargetObjectGraph:
     _forward: dict[tuple[str, str], list[str]] = field(default_factory=dict)
     _backward: dict[tuple[str, str], list[str]] = field(default_factory=dict)
     _paths: dict[tuple[str, str, str], tuple[str, ...]] = field(default_factory=dict)
+    _touching: dict[str, set[tuple[str, str, str]]] = field(default_factory=dict)
+    """Reverse index: XML node id -> keys of instances whose realizing
+    path contains it.  Keeps :meth:`instances_touching` proportional to
+    the delta instead of the whole instance set."""
+    _bucket_pos: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    """Position of each instance inside its ``instances`` bucket, so
+    :meth:`remove_instance` swap-pops in O(1) instead of rebuilding the
+    bucket (bucket order is not meaningful)."""
 
     # ------------------------------------------------------------------
     def add_target_object(self, to_id: str, tss_name: str) -> None:
@@ -57,6 +65,9 @@ class TargetObjectGraph:
         if key in self._paths:
             return  # parallel node-level paths collapse to one TO edge
         self._paths[key] = instance.node_path
+        for node_id in instance.node_path:
+            self._touching.setdefault(node_id, set()).add(key)
+        self._bucket_pos[key] = len(bucket)
         bucket.append(instance)
         self._forward.setdefault((instance.edge_id, instance.source_to), []).append(
             instance.target_to
@@ -64,6 +75,72 @@ class TargetObjectGraph:
         self._backward.setdefault((instance.edge_id, instance.target_to), []).append(
             instance.source_to
         )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the update subsystem's delta surface)
+    # ------------------------------------------------------------------
+    def has_instance(self, edge_id: str, source_to: str, target_to: str) -> bool:
+        return (edge_id, source_to, target_to) in self._paths
+
+    def remove_instance(self, edge_id: str, source_to: str, target_to: str) -> None:
+        """Forget one TSS-edge instance (no-op when absent)."""
+        key = (edge_id, source_to, target_to)
+        if key not in self._paths:
+            return
+        for node_id in self._paths[key]:
+            keys = self._touching.get(node_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._touching[node_id]
+        del self._paths[key]
+        bucket = self.instances[edge_id]
+        position = self._bucket_pos.pop(key)
+        moved = bucket.pop()
+        if position < len(bucket):
+            bucket[position] = moved
+            self._bucket_pos[
+                (moved.edge_id, moved.source_to, moved.target_to)
+            ] = position
+        forward = self._forward.get((edge_id, source_to))
+        if forward is not None:
+            forward.remove(target_to)
+            if not forward:
+                del self._forward[(edge_id, source_to)]
+        backward = self._backward.get((edge_id, target_to))
+        if backward is not None:
+            backward.remove(source_to)
+            if not backward:
+                del self._backward[(edge_id, target_to)]
+
+    def remove_member(self, node_id: str) -> None:
+        """Detach one XML node from its target object (no-op when unmapped)."""
+        to_id = self.to_of_node.pop(node_id, None)
+        if to_id is None:
+            return
+        members = self.members_of_to.get(to_id)
+        if members is not None and node_id in members:
+            members.remove(node_id)
+
+    def remove_target_object(self, to_id: str) -> None:
+        """Forget a target object and its remaining member mappings.
+
+        Edge instances touching the target object must be removed first
+        (via :meth:`remove_instance`); this method only clears the
+        membership tables.
+        """
+        self.tss_of_to.pop(to_id, None)
+        for node_id in self.members_of_to.pop(to_id, ()):  # pragma: no branch
+            self.to_of_node.pop(node_id, None)
+
+    def instances_touching(self, node_ids: set[str]) -> list[EdgeInstance]:
+        """Edge instances whose realizing node path meets ``node_ids``."""
+        keys: set[tuple[str, str, str]] = set()
+        for node_id in node_ids:
+            keys.update(self._touching.get(node_id, ()))
+        return [
+            EdgeInstance(*key, self._paths[key]) for key in sorted(keys)
+        ]
 
     # ------------------------------------------------------------------
     def targets(self, edge_id: str, source_to: str) -> list[str]:
@@ -134,6 +211,23 @@ def build_target_object_graph(graph: XMLGraph, tss_graph: TSSGraph) -> TargetObj
                     EdgeInstance(tss_edge.edge_id, source_to, target_to, node_path)
                 )
     return result
+
+
+def find_to_root(graph, node_id: str, tss_graph: TSSGraph) -> str:
+    """Public alias of :func:`_find_to_root` for incremental maintenance.
+
+    ``graph`` may be any object exposing ``node``/``containment_parent``
+    (the update subsystem passes a merged fragment-plus-graph view).
+    """
+    return _find_to_root(graph, node_id, tss_graph)
+
+
+def match_schema_path(graph, origin: str, path: tuple) -> Iterator[tuple[str, ...]]:
+    """Public alias of :func:`_match_path` for incremental maintenance.
+
+    ``graph`` may be any object exposing ``out_edges``/``node``.
+    """
+    yield from _match_path(graph, origin, path)
 
 
 def _find_to_root(graph: XMLGraph, node_id: str, tss_graph: TSSGraph) -> str:

@@ -1,0 +1,11 @@
+"""Live updates: incremental index maintenance over a loaded database."""
+
+from .manager import IndexSnapshot, MutationReport, UpdateManager
+from .rwlock import ReadWriteLock
+
+__all__ = [
+    "IndexSnapshot",
+    "MutationReport",
+    "ReadWriteLock",
+    "UpdateManager",
+]

@@ -1,7 +1,7 @@
 """XML substrate: labeled-graph model, parser, and serializer."""
 
 from .model import Edge, EdgeKind, Node, XMLGraph, XMLGraphError
-from .parser import ParseOptions, XMLParser, parse_xml
+from .parser import ParseOptions, XMLParser, parse_fragment, parse_xml
 from .serializer import serialize_graph, serialize_subtree
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "XMLGraph",
     "XMLGraphError",
     "XMLParser",
+    "parse_fragment",
     "parse_xml",
     "serialize_graph",
     "serialize_subtree",

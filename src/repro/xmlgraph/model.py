@@ -125,6 +125,47 @@ class XMLGraph:
         self._edge_set.add(key)
         return edge
 
+    def remove_edge(
+        self,
+        source: str,
+        target: str,
+        kind: EdgeKind = EdgeKind.CONTAINMENT,
+    ) -> None:
+        """Remove one directed edge; raise when it does not exist."""
+        key = (source, target, kind)
+        if key not in self._edge_set:
+            raise XMLGraphError(
+                f"no edge {source!r} -> {target!r} ({kind.value}) to remove"
+            )
+        self._edge_set.discard(key)
+        self._out[source] = [
+            edge
+            for edge in self._out[source]
+            if not (edge.target == target and edge.kind is kind)
+        ]
+        self._in[target] = [
+            edge
+            for edge in self._in[target]
+            if not (edge.source == source and edge.kind is kind)
+        ]
+
+    def remove_node(self, node_id: str) -> None:
+        """Remove a node together with every incident edge.
+
+        Incoming reference edges are dropped too (an IDREF whose target
+        disappears dangles, and a dangling reference has no graph
+        representation), which is what document deletion needs.
+        """
+        if node_id not in self._nodes:
+            raise XMLGraphError(f"unknown node id {node_id!r}")
+        for edge in list(self._out[node_id]):
+            self.remove_edge(edge.source, edge.target, edge.kind)
+        for edge in list(self._in[node_id]):
+            self.remove_edge(edge.source, edge.target, edge.kind)
+        del self._nodes[node_id]
+        del self._out[node_id]
+        del self._in[node_id]
+
     # ------------------------------------------------------------------
     # Inspection
     # ------------------------------------------------------------------

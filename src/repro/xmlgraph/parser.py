@@ -123,3 +123,46 @@ def parse_xml(
     for document in documents:
         parser.parse_document(document)
     return parser.finish()
+
+
+def parse_fragment(
+    text: str,
+    options: ParseOptions | None = None,
+) -> tuple[XMLGraph, list[tuple[str, str]], str]:
+    """Parse one XML element into a standalone fragment graph.
+
+    Unlike :func:`parse_xml`, a reference whose target lies outside the
+    fragment is *returned unresolved* instead of raising, so a caller can
+    resolve it against a live graph — the insert path of the update
+    subsystem (:mod:`repro.updates`).  The document root is never
+    dropped: the fragment **is** the element.
+
+    Returns:
+        ``(graph, external_refs, root_id)`` — the fragment graph with all
+        fragment-internal references resolved, the ``(source, target)``
+        pairs whose targets must exist in the destination graph, and the
+        id of the fragment's root node.
+    """
+    base = options or ParseOptions()
+    parser = XMLParser(
+        ParseOptions(
+            id_attr=base.id_attr,
+            ref_attrs=base.ref_attrs,
+            drop_root=False,
+            id_prefix=base.id_prefix,
+        )
+    )
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise XMLGraphError(f"malformed XML document: {exc}") from exc
+    root_id = parser._walk(element, parent_id=None)
+    external: dict[tuple[str, str], None] = {}
+    for ref in parser._pending:
+        if parser.graph.has_node(ref.target):
+            if not parser.graph.has_edge(ref.source, ref.target, EdgeKind.REFERENCE):
+                parser.graph.add_edge(ref.source, ref.target, EdgeKind.REFERENCE)
+        else:
+            external[(ref.source, ref.target)] = None
+    parser._pending.clear()
+    return parser.graph, list(external), root_id

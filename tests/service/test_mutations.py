@@ -1,0 +1,191 @@
+"""End-to-end tests for the live-mutation HTTP surface.
+
+POST/PUT/DELETE ``/documents`` against a real server on an ephemeral
+port, plus the ``repro update`` CLI verbs that drive those endpoints.
+Each test builds a private database: mutations must never touch the
+session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.decomposition import minimal_decomposition
+from repro.schema import dblp_catalog
+from repro.service import QueryService, ServiceConfig
+from repro.storage import Database, load_database, persist_metadata, reopen_database
+from repro.workloads import DBLPConfig, generate_dblp
+
+from .test_server import get_json, post_search, start_server
+
+NEW_AUTHOR = '<author id="web0"><aname id="web0n">endpoint probe</aname></author>'
+
+
+def build_service(**config) -> QueryService:
+    catalog = dblp_catalog()
+    graph = generate_dblp(
+        DBLPConfig(papers=24, authors=12, avg_citations=2.0, seed=3)
+    )
+    loaded = load_database(graph, catalog, [minimal_decomposition(catalog.tss)])
+    return QueryService(loaded, ServiceConfig(workers=2, **config))
+
+
+def request_json(base: str, method: str, path: str, body: dict | None = None):
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=data,
+        method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@pytest.fixture()
+def served():
+    service = build_service()
+    server, base = start_server(service)
+    yield service, base
+    server.shutdown()
+    service.close()
+
+
+class TestDocumentEndpoints:
+    def test_insert_update_delete_lifecycle(self, served):
+        service, base = served
+        health = get_json(base, "/healthz")
+        documents = health["document_count"]
+        assert health["mutations_enabled"] is True
+        assert health["index_epoch"] == 0
+
+        status, report = request_json(
+            base, "POST", "/documents", {"xml": NEW_AUTHOR}
+        )
+        assert status == 200
+        assert report["op"] == "insert" and report["epoch"] == 1
+        assert report["document_id"] == "web0"
+
+        status, found = post_search(base, {"keywords": ["endpoint"], "k": 5})[:2]
+        assert status == 200 and found["count"] == 1
+
+        status, report = request_json(
+            base,
+            "PUT",
+            "/documents/web0",
+            {"xml": NEW_AUTHOR.replace("endpoint", "replaced")},
+        )
+        assert status == 200
+        assert report["op"] == "update" and report["epoch"] == 3
+
+        status, report = request_json(base, "DELETE", "/documents/web0")
+        assert status == 200
+        assert report["op"] == "delete" and report["epoch"] == 4
+
+        health = get_json(base, "/healthz")
+        assert health["index_epoch"] == 4
+        assert health["document_count"] == documents
+        assert health["last_mutation_at"] is not None
+
+    def test_validation_maps_to_http_statuses(self, served):
+        _, base = served
+        status, payload = request_json(base, "POST", "/documents", {})
+        assert status == 400 and "xml" in payload["error"]
+        status, payload = request_json(
+            base, "POST", "/documents", {"xml": "<paper id='x'"}
+        )
+        assert status == 400
+        status, payload = request_json(base, "DELETE", "/documents/missing")
+        assert status == 404
+        status, payload = request_json(
+            base, "PUT", "/documents/missing", {"xml": NEW_AUTHOR}
+        )
+        assert status == 404
+        status, payload = request_json(base, "DELETE", "/other/route")
+        assert status == 404
+
+    def test_metrics_expose_mutations_and_epoch(self, served):
+        _, base = served
+        request_json(base, "POST", "/documents", {"xml": NEW_AUTHOR})
+        with urllib.request.urlopen(f"{base}/metrics", timeout=10.0) as response:
+            text = response.read().decode()
+        assert 'repro_mutations_total{op="insert"} 1' in text
+        assert "repro_index_epoch 1" in text
+        assert 'repro_mutation_seconds_count{op="insert"} 1' in text
+
+    def test_cache_retention_over_http(self, served):
+        _, base = served
+        first = post_search(base, {"keywords": ["smith"], "k": 5})[1]
+        assert first["cached"] is False
+        request_json(base, "POST", "/documents", {"xml": NEW_AUTHOR})
+        replay = post_search(base, {"keywords": ["smith"], "k": 5})[1]
+        assert replay["cached"] is True
+
+
+class TestReadOnlyDatabase:
+    def test_mutations_conflict_with_graphless_reopen(self, tmp_path):
+        catalog = dblp_catalog()
+        graph = generate_dblp(
+            DBLPConfig(papers=12, authors=8, avg_citations=1.0, seed=3)
+        )
+        decomps = [minimal_decomposition(catalog.tss)]
+        path = str(tmp_path / "persisted.db")
+        loaded = load_database(graph, catalog, decomps, database=Database(path))
+        persist_metadata(loaded)
+        loaded.database.commit()
+        reopened = reopen_database(Database(path), catalog, decomps)
+        service = QueryService(reopened, ServiceConfig(workers=1))
+        server, base = start_server(service)
+        try:
+            health = get_json(base, "/healthz")
+            assert health["mutations_enabled"] is False
+            status, payload = request_json(
+                base, "POST", "/documents", {"xml": NEW_AUTHOR}
+            )
+            assert status == 409
+            assert "read-only" in payload["error"]
+        finally:
+            server.shutdown()
+            service.close()
+
+
+class TestUpdateCLI:
+    def test_insert_replace_delete_verbs(self, served, tmp_path, capsys):
+        _, base = served
+        fragment = tmp_path / "author.xml"
+        fragment.write_text(NEW_AUTHOR)
+
+        assert cli_main(
+            ["update", "insert", "--server", base, "--xml", str(fragment)]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["op"] == "insert" and report["document_id"] == "web0"
+
+        fragment.write_text(NEW_AUTHOR.replace("endpoint", "cli"))
+        assert cli_main(
+            ["update", "replace", "--server", base, "web0", "--xml", str(fragment)]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["op"] == "update"
+
+        assert cli_main(["update", "delete", "--server", base, "web0"]) == 0
+        assert json.loads(capsys.readouterr().out)["op"] == "delete"
+
+    def test_http_error_reported_on_stderr(self, served, capsys):
+        _, base = served
+        assert cli_main(["update", "delete", "--server", base, "missing"]) == 1
+        captured = capsys.readouterr()
+        assert "HTTP 404" in captured.err
+
+    def test_unreachable_server_reported(self, capsys):
+        assert cli_main(
+            ["update", "delete", "--server", "http://127.0.0.1:9", "missing"]
+        ) == 1
+        assert "cannot reach" in capsys.readouterr().err

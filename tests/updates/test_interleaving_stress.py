@@ -1,0 +1,79 @@
+"""Stress: concurrent queries against a stream of live mutations.
+
+Query threads hammer the service while the main thread inserts,
+updates, and deletes documents.  The single-writer/multi-reader lock
+must keep every query on a consistent epoch (no torn reads, no
+exceptions), and after the dust settles the database must still match
+a full reload.  Runs in CI under ``PYTHONDEVMODE=1``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.service import QueryService, ServiceConfig
+
+from .conftest import assert_equivalent, build_dblp
+
+QUERIES = [["smith"], ["relational", "query"], ["jones"], ["proximity"]]
+
+
+@pytest.mark.stress
+def test_queries_interleaved_with_mutations():
+    catalog, decomps, loaded = build_dblp(papers=30, authors=15)
+    service = QueryService(
+        loaded, ServiceConfig(workers=4, queue_size=64, cache_ttl=None)
+    )
+    stop = threading.Event()
+    errors: list[BaseException] = []
+    completed = [0] * len(QUERIES)
+
+    def reader(slot: int) -> None:
+        while not stop.is_set():
+            try:
+                payload = service.search(QUERIES[slot % len(QUERIES)], k=5)
+                assert payload["count"] >= 0
+                completed[slot] += 1
+            except BaseException as exc:  # noqa: BLE001 - collected for the assert
+                errors.append(exc)
+                return
+
+    threads = [
+        threading.Thread(target=reader, args=(slot,), daemon=True)
+        for slot in range(len(QUERIES))
+    ]
+    for thread in threads:
+        thread.start()
+
+    epochs = []
+    try:
+        for round_number in range(12):
+            node = f"st{round_number}"
+            service.insert_document(
+                f'<paper id="{node}" ref="a1">'
+                f'<title id="{node}t">stress proximity {round_number}</title>'
+                f'<pages id="{node}g">1-2</pages></paper>',
+                parent_id="c0y1",
+            )
+            service.update_document(
+                node,
+                f'<paper id="{node}">'
+                f'<title id="{node}t">revised {round_number}</title>'
+                f'<pages id="{node}g">3-4</pages></paper>',
+            )
+            if round_number % 2:
+                service.delete_document(node)
+            epochs.append(service.healthz()["index_epoch"])
+            time.sleep(0.01)
+    finally:
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=30)
+
+    assert not errors, errors[:3]
+    assert all(n > 0 for n in completed), completed
+    assert epochs == sorted(epochs)
+    assert_equivalent(catalog, decomps, loaded)
