@@ -20,12 +20,19 @@ from typing import Iterable, Protocol
 from .findings import RULES, Finding
 from .general import GeneralChecker
 from .layering import LayeringChecker
+from .lockgraph import LockGraphChecker
 from .locks import LockChecker
 from .source import Module, load_modules, parse_module
 
 
 class Checker(Protocol):
-    """The plugin protocol every lint rule family implements."""
+    """The plugin protocol every lint rule family implements.
+
+    Per-module checkers implement ``check(module)``.  Whole-project
+    checkers (the interprocedural lock graph) additionally implement
+    ``check_project(modules)``; :func:`run_analysis` calls it once with
+    every module, after the per-module pass.
+    """
 
     name: str
     rules: tuple[str, ...]
@@ -34,7 +41,7 @@ class Checker(Protocol):
 
 
 def all_checkers() -> list[Checker]:
-    return [LayeringChecker(), LockChecker(), GeneralChecker()]
+    return [LayeringChecker(), LockChecker(), LockGraphChecker(), GeneralChecker()]
 
 
 def run_analysis(
@@ -46,7 +53,8 @@ def run_analysis(
     """
     active = list(checkers) if checkers is not None else all_checkers()
     findings: list[Finding] = []
-    for module in load_modules(root):
+    modules = load_modules(root)
+    for module in modules:
         for checker in active:
             # Suppressions are honoured here, centrally, so individual
             # checkers never need to remember to consult them.
@@ -55,6 +63,15 @@ def run_analysis(
                 for finding in checker.check(module)
                 if not module.suppressed(finding.line, finding.rule)
             )
+    suppressed_by_path = {str(module.path): module for module in modules}
+    for checker in active:
+        check_project = getattr(checker, "check_project", None)
+        if check_project is None:
+            continue
+        for finding in check_project(modules):
+            module = suppressed_by_path.get(finding.path)
+            if module is None or not module.suppressed(finding.line, finding.rule):
+                findings.append(finding)
     findings.sort(key=Finding.sort_key)
     return findings
 
@@ -62,6 +79,7 @@ def run_analysis(
 __all__ = [
     "Checker",
     "Finding",
+    "LockGraphChecker",
     "Module",
     "RULES",
     "all_checkers",

@@ -8,7 +8,7 @@ comments can target them precisely.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 
 @dataclass(frozen=True, slots=True)
@@ -26,6 +26,10 @@ class Finding:
     def sort_key(self) -> tuple[str, int, str]:
         return (self.path, self.line, self.rule)
 
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready form for ``--output json`` and CI tooling."""
+        return asdict(self)
+
 
 # The rule catalogue.  Level 1 (RA...) is the AST lint run by
 # ``python -m repro.analysis``; Level 2 (RV...) is the domain verifier
@@ -42,6 +46,18 @@ RULES: dict[str, str] = {
     "RA102": "callback/hook invocation or I/O while holding a lock",
     "RA103": "time.sleep while holding a lock",
     "RA104": "thread created without daemon=True",
+    # --- interprocedural lock graph (analysis/lockgraph.py) ------------
+    "RA105": "lock-order inversion: the project-wide acquisition graph "
+             "contains a cycle (potential deadlock)",
+    "RA106": "write lock acquired while a read lock on the same "
+             "ReadWriteLock may be held (self-deadlock under writer "
+             "preference)",
+    "RA107": "blocking call (sqlite commit/execute, socket I/O, "
+             "Event.wait, submit().result()) reachable while holding a "
+             "lock; allowlist with '# analysis: blocking-ok[reason]'",
+    "RA108": "attribute declared '# guarded by: self.<rwlock> [rw]' "
+             "accessed outside a read/write-lock region (checked "
+             "across intra-class call sites)",
     # --- general correctness ------------------------------------------
     "RA201": "mutable default argument",
     "RA202": "container mutated while being iterated",
@@ -65,4 +81,12 @@ RULES: dict[str, str] = {
              "decomposition",
     "RV309": "plan step's role map is not a valid fragment embedding",
     "RV310": "plan anchor role is invalid or not bound by the first step",
+    "RV311": "shared-prefix spec does not canonicalize to its plan prefix",
+    # --- runtime lockset sanitizer (analysis/sanitizer.py) -------------
+    "RS401": "dynamic lock-order inversion: observed acquisition order "
+             "conflicts with the merged static+dynamic lock graph",
+    "RS402": "read->write upgrade observed on a ReadWriteLock at "
+             "runtime (self-deadlock under writer preference)",
+    "RS403": "guarded attribute accessed at runtime with an empty "
+             "lockset (Eraser-style lockset violation)",
 }

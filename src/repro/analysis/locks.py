@@ -38,7 +38,10 @@ from typing import Iterator
 from .findings import Finding
 from .source import Module
 
-_GUARD = re.compile(r"#\s*guarded by:\s*self\.(\w+)(?:\s*\[(writes)\])?")
+# The optional qualifier captures any word: ``[writes]`` is handled
+# here; ``[rw]`` declares a ReadWriteLock-guarded artifact and belongs
+# to the interprocedural checker (lockgraph.py RA108), so RA101 skips it.
+_GUARD = re.compile(r"#\s*guarded by:\s*self\.(\w+)(?:\s*\[(\w+)\])?")
 
 _CALLBACK_NAME = re.compile(r"^on_|hook|callback", re.IGNORECASE)
 _CALLBACK_OWNER = re.compile(r"observer|hooks?$|callback", re.IGNORECASE)
@@ -90,7 +93,7 @@ def collect_guards(module: Module, class_node: ast.ClassDef) -> dict[str, GuardS
         if number > len(module.lines):
             break
         match = _GUARD.search(module.lines[number - 1])
-        if match:
+        if match and match.group(2) != "rw":
             annotated_lines[number] = (match.group(1), match.group(2) == "writes")
     if not annotated_lines:
         return guards

@@ -324,6 +324,9 @@ class QueryService:
         """Swap the served database and invalidate its cached results."""
         with self._swap_lock:
             previous = self._state.fingerprint
+            # analysis: blocking-ok[fingerprinting the incoming database
+            # runs sqlite row counts; _swap_lock only serializes reloads,
+            # searches read self._state lock-free]
             self._state = self._build_state(loaded)
             dropped = self.cache.invalidate(previous)
             return {

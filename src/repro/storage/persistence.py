@@ -31,6 +31,35 @@ from .target_objects import EdgeInstance, TargetObjectGraph
 _TO_TABLE = "meta_target_objects"
 _MEMBER_TABLE = "meta_to_members"
 _EDGE_TABLE = "meta_to_edges"
+_STATE_TABLE = "meta_index_state"
+
+
+def store_index_epoch(database: Database, epoch: int) -> None:
+    """Record the index epoch durably (caller commits with the mutation).
+
+    Unlike the metadata tables this is written unconditionally: the
+    epoch must survive restarts even for databases that never ran
+    :func:`persist_metadata`, so monotonicity checks keep working after
+    a reopen.
+    """
+    database.execute(
+        f"""CREATE TABLE IF NOT EXISTS {_STATE_TABLE} (
+            key TEXT PRIMARY KEY, value INTEGER NOT NULL) WITHOUT ROWID"""
+    )
+    database.execute(
+        f"INSERT OR REPLACE INTO {_STATE_TABLE} VALUES ('index_epoch', ?)",
+        (epoch,),
+    )
+
+
+def load_index_epoch(database: Database) -> int:
+    """The last persisted index epoch; 0 when none was ever stored."""
+    if not database.table_exists(_STATE_TABLE):
+        return 0
+    row = database.query_one(
+        f"SELECT value FROM {_STATE_TABLE} WHERE key = 'index_epoch'"
+    )
+    return int(row[0]) if row is not None else 0
 
 
 def persist_metadata(loaded: LoadedDatabase) -> None:
@@ -195,7 +224,7 @@ def reopen_database(
             fragment.relation_name: store.row_count(fragment)
             for fragment in decomposition.fragments
         }
-    return LoadedDatabase(
+    reopened = LoadedDatabase(
         catalog=catalog,
         database=database,
         graph=None,  # type: ignore[arg-type]
@@ -206,3 +235,5 @@ def reopen_database(
         stores=stores,
         report=report,
     )
+    reopened.epoch = load_index_epoch(database)
+    return reopened

@@ -44,7 +44,11 @@ from dataclasses import asdict, dataclass
 from ..schema.graph import UNBOUNDED
 from ..storage.decomposer import LoadedDatabase
 from ..storage.fingerprint import VersionVector
-from ..storage.persistence import apply_metadata_delta
+from ..storage.persistence import (
+    apply_metadata_delta,
+    load_index_epoch,
+    store_index_epoch,
+)
 from ..storage.relations import fragment_instances
 from ..storage.target_objects import EdgeInstance, find_to_root, match_schema_path
 from ..trace import NULL_TRACER
@@ -164,7 +168,13 @@ class UpdateManager:
         self._clock = clock
         self._rwlock = ReadWriteLock()
         self._snapshot_lock = threading.Lock()
-        self._documents = {node.node_id for node in loaded.graph.roots()}
+        # A fresh load starts at epoch 0; a database that saw mutations
+        # in an earlier process resumes from its persisted epoch so the
+        # counter stays monotonic across restarts.
+        loaded.epoch = max(loaded.epoch, load_index_epoch(loaded.database))
+        self._documents = {  # guarded by: self._rwlock [rw]
+            node.node_id for node in loaded.graph.roots()
+        }
         self._last_mutation_at: float | None = None
         self._max_path_len = max(
             (len(edge.path) for edge in loaded.catalog.tss.edges()), default=1
@@ -203,6 +213,9 @@ class UpdateManager:
         trace = self.tracer.begin("mutation:insert", kind="mutation", op="insert")
         try:
             with self._rwlock.write():
+                # analysis: blocking-ok[mutations persist durably (sqlite
+                # delta + commit) before the write lock is released, so
+                # readers never see an index ahead of its database]
                 report = self._insert_locked(
                     xml_text, parent_id=parent_id, options=options, trace=trace
                 )
@@ -220,6 +233,8 @@ class UpdateManager:
         trace = self.tracer.begin("mutation:delete", kind="mutation", op="delete")
         try:
             with self._rwlock.write():
+                # analysis: blocking-ok[delete persists its delta and
+                # commits before the write lock is released]
                 report = self._delete_locked(document_id, trace=trace)
             trace.root.annotate(**report.to_dict())
             return report
@@ -257,7 +272,11 @@ class UpdateManager:
                         if edge.is_reference and edge.source not in subtree_ids
                     }
                 )
+                # analysis: blocking-ok[replace is delete+insert under one
+                # write lock; both halves commit before it is released]
                 removal = self._delete_locked(document_id, trace=trace)
+                # analysis: blocking-ok[second half of the atomic replace;
+                # same durability argument as the delete above]
                 insertion = self._insert_locked(
                     xml_text,
                     parent_id=parent.node_id if parent is not None else None,
@@ -467,10 +486,13 @@ class UpdateManager:
             new_instances=new_instances,
         )
         loaded.statistics.refresh_from(loaded.to_graph)
+        # The epoch advances inside the mutation's transaction so a
+        # restarted process resumes from a monotonic counter.
+        loaded.epoch += 1
+        store_index_epoch(loaded.database, loaded.epoch)
         loaded.database.commit()
         span.finish()
 
-        loaded.epoch += 1
         self.versions.bump(keywords, relations_touched)
         if parent_id is None:
             self._documents.add(root_id)
@@ -682,10 +704,11 @@ class UpdateManager:
             new_instances=readded,
         )
         loaded.statistics.refresh_from(to_graph)
+        loaded.epoch += 1
+        store_index_epoch(loaded.database, loaded.epoch)
         loaded.database.commit()
         span.finish()
 
-        loaded.epoch += 1
         self.versions.bump(keywords, relations_touched)
         self._documents.discard(document_id)
         self._publish()

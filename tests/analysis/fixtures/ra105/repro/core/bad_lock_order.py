@@ -1,0 +1,31 @@
+"""Seeded RA105: two locks acquired in opposite orders (deadlock cycle)."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self) -> None:
+        self._head = threading.Lock()
+        self._tail = threading.Lock()
+        self._quiet_a = threading.Lock()
+        self._quiet_b = threading.Lock()
+
+    def push(self) -> None:
+        with self._head:
+            with self._tail:  # edge: _head -> _tail
+                pass
+
+    def drain(self) -> None:
+        with self._tail:
+            with self._head:  # RA105: edge _tail -> _head closes the cycle
+                pass
+
+    def annotated_push(self) -> None:
+        with self._quiet_a:
+            with self._quiet_b:  # analysis: ignore[RA105]
+                pass
+
+    def annotated_drain(self) -> None:
+        with self._quiet_b:
+            with self._quiet_a:  # analysis: ignore[RA105]
+                pass

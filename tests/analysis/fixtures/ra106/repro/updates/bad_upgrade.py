@@ -1,0 +1,30 @@
+"""Seeded RA106: read->write upgrade on a writer-preferring rwlock."""
+
+from .rwlock import ReadWriteLock
+
+
+class Index:
+    def __init__(self) -> None:
+        self._rwlock = ReadWriteLock()
+
+    def direct_upgrade(self) -> None:
+        with self._rwlock.read():
+            with self._rwlock.write():  # RA106: upgrade deadlocks
+                pass
+
+    def refresh(self) -> None:
+        with self._rwlock.read():
+            self._rebuild()  # RA106: callee takes the write side
+
+    def _rebuild(self) -> None:
+        with self._rwlock.write():
+            pass
+
+    def fine_write(self) -> None:
+        with self._rwlock.write():  # fine: no read lock held
+            pass
+
+    def annotated_upgrade(self) -> None:
+        with self._rwlock.read():
+            with self._rwlock.write():  # analysis: ignore[RA106]
+                pass

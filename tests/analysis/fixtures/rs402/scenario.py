@@ -1,0 +1,29 @@
+"""Seeded RS402 scenarios: read->write upgrade observed at runtime.
+
+Without the sanitizer each positive call would deadlock the process
+(writer preference waits for the caller's own read hold); the sanitizer
+records the finding and raises instead.
+"""
+
+from repro.updates.rwlock import ReadWriteLock
+
+
+def upgrade() -> None:
+    rwlock = ReadWriteLock()
+    with rwlock.read():
+        rwlock.acquire_write()  # RS402: would deadlock; sanitizer raises
+
+
+def upgrade_suppressed() -> None:
+    rwlock = ReadWriteLock()
+    with rwlock.read():
+        rwlock.acquire_write()  # analysis: ignore[RS402]
+
+
+def disciplined() -> None:
+    """Read then write strictly sequentially: fine."""
+    rwlock = ReadWriteLock()
+    with rwlock.read():
+        pass
+    with rwlock.write():
+        pass

@@ -1,0 +1,19 @@
+"""Seeded RS403 scenarios: guarded attribute touched with an empty lockset."""
+
+import threading
+
+
+class Tally:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._count = 0  # guarded by: self._lock
+
+    def locked_increment(self) -> None:
+        with self._lock:
+            self._count += 1  # fine: lock in the lockset
+
+    def racy_increment(self) -> None:
+        self._count += 1  # RS403: lockset is empty
+
+    def suppressed_increment(self) -> None:
+        self._count += 1  # analysis: ignore[RS403]

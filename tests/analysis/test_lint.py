@@ -19,6 +19,10 @@ SEEDED = {
     "RA102": 3,
     "RA103": 1,
     "RA104": 1,
+    "RA105": 1,
+    "RA106": 2,
+    "RA107": 3,
+    "RA108": 2,
     "RA201": 3,
     "RA202": 2,
     "RA203": 2,
@@ -43,6 +47,13 @@ class TestSeededFixtures:
         assert analysis_main([str(FIXTURES / rule.lower() / "repro")]) == 1
         out = capsys.readouterr().out
         assert rule in out
+
+    @pytest.mark.parametrize("rule", ["RA105", "RA106", "RA107", "RA108"])
+    def test_rule_missed_when_checker_disabled(self, rule):
+        """Dropping the lockgraph checker silences exactly these rules."""
+        without = [c for c in all_checkers() if c.name != "lockgraph"]
+        findings = run_analysis(FIXTURES / rule.lower() / "repro", without)
+        assert findings == [], [f.render() for f in findings]
 
 
 class TestCleanTree:
@@ -164,5 +175,12 @@ class TestCheckerProtocol:
 
     def test_rv_rules_documented(self):
         assert {rule for rule in RULES if rule.startswith("RV")} == {
-            f"RV{n}" for n in range(301, 311)
+            f"RV{n}" for n in range(301, 312)
+        }
+
+    def test_rs_rules_documented(self):
+        """Sanitizer rules share the catalogue even though no static
+        checker declares them (they are emitted at runtime)."""
+        assert {rule for rule in RULES if rule.startswith("RS")} == {
+            f"RS{n}" for n in range(401, 404)
         }

@@ -1,0 +1,182 @@
+"""The runtime lockset sanitizer: RS401-RS403 over the seeded scenarios."""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import SanitizerDeadlockError, TrackedLock
+
+FIXTURES = Path(__file__).parent / "fixtures"
+SRC_ROOT = Path(__file__).parent.parent.parent / "src"
+
+
+def _load_scenario(rule: str):
+    """Import a fixture scenario under a ``rs4``-prefixed module name so
+    the sanitizer's prefix gate wraps its lock allocations."""
+    name = f"{rule}_scenario"
+    spec = importlib.util.spec_from_file_location(
+        name, FIXTURES / rule / "scenario.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    try:
+        spec.loader.exec_module(module)
+    except BaseException:
+        sys.modules.pop(name, None)
+        raise
+    return module
+
+
+@pytest.fixture
+def sanitize():
+    """Enable the sanitizer for one test, restoring prior state after.
+
+    Under ``REPRO_SANITIZE=1`` the session conftest has already enabled
+    it with the default prefixes; re-enable with the fixture prefixes
+    for the duration, then hand the session instrumentation back.
+    """
+    was_enabled = sanitizer.enabled()
+    if was_enabled:
+        sanitizer.disable()
+    sanitizer.enable(prefixes=("repro", "rs4"))
+    sanitizer.reset()
+    try:
+        yield sanitizer
+    finally:
+        sanitizer.reset()
+        sanitizer.disable()
+        if was_enabled:
+            sanitizer.enable()
+
+
+class TestRS401:
+    def test_inversion_is_reported(self, sanitize):
+        scenario = _load_scenario("rs401")
+        scenario.inversion()
+        findings = sanitize.report()
+        assert [f.rule for f in findings] == ["RS401"]
+        assert "inversion" in findings[0].message
+
+    def test_suppression_comment_silences(self, sanitize):
+        scenario = _load_scenario("rs401")
+        scenario.inversion_suppressed()
+        assert sanitize.report() == []
+
+    def test_consistent_nesting_is_clean(self, sanitize):
+        scenario = _load_scenario("rs401")
+        scenario.nested_consistent()
+        assert sanitize.report() == []
+        # The edge itself is still observed; it just closes no cycle.
+        edges = sanitize.observed_edges()
+        assert len(edges) == 1
+
+    def test_unwrapped_modules_record_nothing(self, sanitize):
+        import threading
+
+        plain = threading.Lock()  # this module is outside the prefixes
+        assert not isinstance(plain, TrackedLock)
+        with plain:
+            pass
+        assert sanitize.observed_edges() == []
+
+
+class TestRS402:
+    def test_upgrade_raises_and_reports(self, sanitize):
+        scenario = _load_scenario("rs402")
+        with pytest.raises(SanitizerDeadlockError):
+            scenario.upgrade()
+        findings = sanitize.report()
+        assert [f.rule for f in findings] == ["RS402"]
+        assert "read->write upgrade" in findings[0].message
+
+    def test_suppressed_upgrade_still_raises_but_stays_silent(self, sanitize):
+        # Letting the acquisition proceed would hang the test run, so
+        # the raise is unconditional; only the *finding* is suppressed.
+        scenario = _load_scenario("rs402")
+        with pytest.raises(SanitizerDeadlockError):
+            scenario.upgrade_suppressed()
+        assert sanitize.report() == []
+
+    def test_sequential_read_then_write_is_fine(self, sanitize):
+        scenario = _load_scenario("rs402")
+        scenario.disciplined()
+        assert sanitize.report() == []
+
+
+class TestRS403:
+    def test_guarded_access_with_empty_lockset(self, sanitize):
+        scenario = _load_scenario("rs403")
+        sanitize.instrument_class(scenario.Tally)
+        tally = scenario.Tally()
+        tally.racy_increment()
+        findings = sanitize.report()
+        assert [f.rule for f in findings] == ["RS403"]
+        assert "Tally._count" in findings[0].message
+
+    def test_locked_access_is_clean(self, sanitize):
+        scenario = _load_scenario("rs403")
+        sanitize.instrument_class(scenario.Tally)
+        tally = scenario.Tally()
+        tally.locked_increment()
+        assert sanitize.report() == []
+
+    def test_suppression_comment_silences(self, sanitize):
+        scenario = _load_scenario("rs403")
+        sanitize.instrument_class(scenario.Tally)
+        tally = scenario.Tally()
+        tally.suppressed_increment()
+        assert sanitize.report() == []
+
+    def test_construction_is_exempt(self, sanitize):
+        scenario = _load_scenario("rs403")
+        sanitize.instrument_class(scenario.Tally)
+        scenario.Tally()  # __init__ writes _count with no lock held
+        assert sanitize.report() == []
+
+
+class TestLifecycle:
+    def test_disable_restores_originals_by_identity(self):
+        import threading
+
+        assert not sanitizer.enabled()
+        original = threading.Lock
+        sanitizer.enable(prefixes=("repro",))
+        try:
+            assert threading.Lock is not original
+        finally:
+            sanitizer.reset()
+            sanitizer.disable()
+        assert threading.Lock is sanitizer._original_lock
+
+    def test_exit_hook_fails_the_process(self):
+        """A run that ends with findings exits nonzero via the atexit hook."""
+        script = (
+            "import sys\n"
+            f"sys.path.insert(0, {str(FIXTURES)!r})\n"
+            "from repro.analysis import sanitizer\n"
+            "import importlib.util\n"
+            "spec = importlib.util.spec_from_file_location(\n"
+            f"    'rs401_scenario', {str(FIXTURES / 'rs401' / 'scenario.py')!r})\n"
+            "module = importlib.util.module_from_spec(spec)\n"
+            "sys.modules['rs401_scenario'] = module\n"
+            "sanitizer.enable(prefixes=('repro', 'rs4'))\n"
+            "spec.loader.exec_module(module)\n"
+            "module.inversion()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC_ROOT)
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert result.returncode == 1
+        assert "RS401" in result.stderr

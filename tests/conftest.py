@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.decomposition import minimal_decomposition
@@ -9,6 +11,31 @@ from repro.schema import dblp_catalog, tpch_catalog
 from repro.storage import load_database
 from repro.workloads import DBLPConfig, TPCHConfig, generate_dblp, generate_tpch
 from repro.xmlgraph import EdgeKind, XMLGraph
+
+# REPRO_SANITIZE=1 runs the whole session under the runtime lockset
+# sanitizer (see repro.analysis.sanitizer): project lock allocations are
+# wrapped, ReadWriteLock is instrumented, and any RS4xx finding fails
+# the run at session end.
+_SANITIZE = os.environ.get("REPRO_SANITIZE") == "1"
+if _SANITIZE:
+    from repro.analysis import sanitizer as _sanitizer
+
+    _sanitizer.enable()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _SANITIZE:
+        return
+    from repro.analysis import sanitizer as _sanitizer
+
+    if not _sanitizer.enabled():  # a test disabled it and did not restore
+        return
+    findings = _sanitizer.report()
+    if findings:
+        print("\nrepro sanitizer: findings at session end:")
+        for finding in findings:
+            print(f"  {finding.render()}")
+        session.exitstatus = 1
 
 
 @pytest.fixture(scope="session")
