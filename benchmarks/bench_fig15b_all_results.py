@@ -27,12 +27,14 @@ SIZES = (2, 3, 4)
 
 
 def run_all_results(decomposition_name: str, size: int) -> int:
-    hash_join = decomposition_name == "MinNClustNIndx"
+    backend = (
+        "python-hash" if decomposition_name == "MinNClustNIndx" else "python"
+    )
     total = 0
     for prepared in common.prepared_searches(
-        decomposition_name, max_size=size + 2, hash_join=hash_join
+        decomposition_name, max_size=size + 2, backend=backend
     ):
-        total += common.execute_prepared(prepared, None, hash_join=hash_join)
+        total += common.execute_prepared(prepared, None, backend=backend)
     return total
 
 

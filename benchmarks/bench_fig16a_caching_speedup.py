@@ -23,10 +23,10 @@ import common
 SIZES = (2, 3, 4)
 
 
-def run_mode(size: int, use_cache: bool) -> int:
+def run_mode(size: int, memoize: bool) -> int:
     total = 0
     for prepared in common.prepared_searches("MinClust", max_size=size + 2):
-        total += common.execute_prepared(prepared, None, use_cache=use_cache)
+        total += common.execute_prepared(prepared, None, memoize=memoize)
     return total
 
 
@@ -51,17 +51,17 @@ LATENCY = 0.0003
 
 
 @pytest.mark.parametrize("size", SIZES)
-@pytest.mark.parametrize("use_cache", (True, False), ids=("optimized", "naive"))
-def test_fig16a_with_round_trips(benchmark, size, use_cache):
+@pytest.mark.parametrize("memoize", (True, False), ids=("optimized", "naive"))
+def test_fig16a_with_round_trips(benchmark, size, memoize):
     """With per-query round trips the cached executor's saved queries
     translate into the paper's wall-clock speedup curve."""
     benchmark.group = f"fig16a-latency-size{size}"
-    benchmark.name = "optimized (cached)" if use_cache else "naive (no cache)"
+    benchmark.name = "optimized (cached)" if memoize else "naive (no cache)"
     database = common.bench_database().database
     database.simulated_latency = LATENCY
     try:
         produced = benchmark.pedantic(
-            run_mode, args=(size, use_cache), rounds=3, iterations=1
+            run_mode, args=(size, memoize), rounds=3, iterations=1
         )
     finally:
         database.simulated_latency = 0.0
@@ -76,7 +76,7 @@ def test_fig16a_queries_saved():
     savings = []
     for size in SIZES:
         sent = {}
-        for use_cache in (True, False):
+        for memoize in (True, False):
             total = 0
             for prepared in common.prepared_searches("MinClust", max_size=size + 2):
                 for ctssn, plan in prepared.plans:
@@ -85,13 +85,13 @@ def test_fig16a_queries_saved():
                         prepared.engine.stores,
                         prepared.containing,
                         config=ExecutorConfig(
-                            use_cache=use_cache, share_lookups=False
+                            memoize=memoize, shared_lookup_cache=False
                         ),
                     )
                     for _ in executor.run():
                         pass
                     total += executor.metrics.queries_sent
-            sent[use_cache] = total
+            sent[memoize] = total
         savings.append(sent[False] / max(1, sent[True]))
     assert savings[-1] > 1.0, f"caching saved no queries: {savings}"
     assert savings[-1] >= savings[0], f"saving should grow with M: {savings}"

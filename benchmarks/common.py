@@ -83,13 +83,13 @@ def bench_graph():
 
 
 @lru_cache(maxsize=None)
-def engine_for(decomposition_name: str, hash_join: bool = False) -> XKeyword:
+def engine_for(decomposition_name: str, backend: str = "python") -> XKeyword:
     """An engine restricted to one decomposition's relations."""
     loaded = bench_database()
     names = [decomposition_name]
     if decomposition_name == "Combined":
         names = ["XKeyword", "MinClust"]
-    config = ExecutorConfig(hash_join=hash_join)
+    config = ExecutorConfig(backend=backend)
     return XKeyword(loaded, store_priority=names, executor_config=config)
 
 
@@ -144,10 +144,10 @@ class PreparedQuery:
 
 @lru_cache(maxsize=None)
 def prepared_searches(
-    decomposition_name: str, max_size: int = 8, hash_join: bool = False
+    decomposition_name: str, max_size: int = 8, backend: str = "python"
 ) -> tuple[PreparedQuery, ...]:
     """Pre-planned queries for one decomposition (memoized)."""
-    engine = engine_for(decomposition_name, hash_join=hash_join)
+    engine = engine_for(decomposition_name, backend=backend)
     prepared = []
     for query in bench_queries(max_size=max_size):
         containing = engine.containing_lists(query)
@@ -161,36 +161,42 @@ def prepared_searches(
 def execute_prepared(
     prepared: PreparedQuery,
     k: int | None,
-    hash_join: bool = False,
-    use_cache: bool = True,
+    backend: str = "python",
+    memoize: bool = True,
     strategy: str = "serial",
+    statement_cache=None,
 ) -> int:
     """Run pre-planned CTSSNs in score order under one scheduling strategy.
 
-    ``use_cache=False`` is the paper's *naive* executor: no partial-
-    result reuse of any kind (every inner loop re-sends its queries).
-    ``strategy`` ablates the cross-CN scheduler: ``serial`` evaluates
-    every CN independently to ``k`` results, ``shared-prefix`` adds
-    once-per-query materialization of canonical join prefixes, and
+    ``backend`` picks the executor (``python``, ``python-hash`` or
+    ``sql`` — the last compiles each plan to one SELECT and runs it
+    inside SQLite).  ``memoize=False`` is the paper's *naive* executor:
+    no partial-result reuse of any kind (every inner loop re-sends its
+    queries).  ``strategy`` ablates the cross-CN scheduler: ``serial``
+    evaluates every CN independently to ``k`` results, ``shared-prefix``
+    adds once-per-query materialization of canonical join prefixes, and
     ``shared-prefix+pruning`` also skips CNs whose score exceeds the
     global k-th best collected score — all three produce the same top-k.
+    ``statement_cache`` (a ``CompiledStatementCache``) lets repeated
+    ``sql`` runs skip recompilation, mirroring the service wiring.
     """
     from repro.core import (
         CTSSNExecutor,
         ExecutorConfig,
         ResultCache,
         SharedPrefixTable,
+        SQLCTSSNExecutor,
         TopKBound,
         assign_shared_prefixes,
     )
 
     config = ExecutorConfig(
-        use_cache=use_cache,
-        hash_join=hash_join,
-        share_lookups=use_cache,
+        backend=backend,
+        memoize=memoize,
+        shared_lookup_cache=memoize,
         strategy=strategy,
     )
-    lookup_cache = ResultCache() if use_cache else None
+    lookup_cache = ResultCache() if memoize else None
     prefixes = {}
     prefix_table = None
     if config.share_prefixes:
@@ -202,15 +208,24 @@ def execute_prepared(
     for index, (ctssn, plan) in enumerate(prepared.plans):
         if bound is not None and not bound.admits(ctssn.score):
             continue
-        executor = CTSSNExecutor(
-            plan,
-            prepared.engine.stores,
-            prepared.containing,
+        kwargs = dict(
             config=config,
-            lookup_cache=None if hash_join else lookup_cache,
+            lookup_cache=None if config.hash_join else lookup_cache,
             prefix=prefixes.get(index),
             prefix_table=prefix_table,
         )
+        if config.backend == "sql":
+            executor = SQLCTSSNExecutor(
+                plan,
+                prepared.engine.stores,
+                prepared.containing,
+                statement_cache=statement_cache,
+                **kwargs,
+            )
+        else:
+            executor = CTSSNExecutor(
+                plan, prepared.engine.stores, prepared.containing, **kwargs
+            )
         for _ in executor.run(limit=k):
             produced += 1
             if bound is not None:

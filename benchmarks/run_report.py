@@ -96,13 +96,13 @@ def fig15b(repeats: int) -> None:
     for size in sizes:
         row = [str(size)]
         for name in names:
-            hash_join = name == "MinNClustNIndx"
+            backend = "python-hash" if name == "MinNClustNIndx" else "python"
             prepared = common.prepared_searches(
-                name, max_size=size + 2, hash_join=hash_join
+                name, max_size=size + 2, backend=backend
             )
             seconds = timed(
                 lambda: [
-                    common.execute_prepared(p, None, hash_join=hash_join)
+                    common.execute_prepared(p, None, backend=backend)
                     for p in prepared
                 ],
                 repeats,
@@ -124,9 +124,9 @@ def fig16a(repeats: int, latency: float) -> None:
     for size in sizes:
         prepared = common.prepared_searches("MinClust", max_size=size + 2)
 
-        def run(use_cache: bool) -> None:
+        def run(memoize: bool) -> None:
             for p in prepared:
-                common.execute_prepared(p, None, use_cache=use_cache)
+                common.execute_prepared(p, None, memoize=memoize)
 
         raw_cached = timed(lambda: run(True), repeats)
         raw_naive = timed(lambda: run(False), repeats)
@@ -261,6 +261,67 @@ def scheduler_ablation(repeats: int) -> None:
     table(
         "Scheduler ablation - Fig 15(a) workload (ms), XKeyword decomposition",
         ["K"] + list(strategies) + ["serial/pruning"],
+        rows,
+    )
+
+
+def sql_backend_report(repeats: int, latency: float) -> None:
+    """Backend ablation on the Fig 15(a) workload: Python vs compiled SQL.
+
+    Identical ranked top-k (the equivalence suite asserts it); the
+    compiled backend sends a handful of statements per query where the
+    Python executor sends one probe per binding, so its advantage scales
+    with the per-statement round trip.  Both run the default
+    ``shared-prefix+pruning`` scheduler.
+    """
+    from repro.storage import CompiledStatementCache
+
+    database = common.bench_database().database
+    rows = []
+    for k in (1, 10):
+        prepared = common.prepared_searches("XKeyword", max_size=8)
+        statement_cache = CompiledStatementCache()
+
+        def run(backend: str) -> None:
+            for p in prepared:
+                common.execute_prepared(
+                    p,
+                    k,
+                    backend=backend,
+                    strategy="shared-prefix+pruning",
+                    statement_cache=(
+                        statement_cache if backend == "sql" else None
+                    ),
+                )
+
+        py_seconds = timed(lambda: run("python"), repeats)
+        run("sql")  # warm the compiled-statement cache before timing
+        sql_seconds = timed(lambda: run("sql"), repeats)
+        database.simulated_latency = latency
+        try:
+            lat_py = timed(lambda: run("python"), 1)
+            lat_sql = timed(lambda: run("sql"), 1)
+        finally:
+            database.simulated_latency = 0.0
+        record_metric(f"sqlbackend/top{k:02d}/python", py_seconds * 1000)
+        record_metric(f"sqlbackend/top{k:02d}/sql", sql_seconds * 1000)
+        record_metric(
+            f"sqlbackend/top{k:02d}/latency_speedup",
+            lat_py / lat_sql,
+            "higher",
+        )
+        rows.append(
+            [
+                str(k),
+                f"{py_seconds * 1000:.1f}",
+                f"{sql_seconds * 1000:.1f}",
+                f"{lat_py / lat_sql:.2f}",
+            ]
+        )
+    table(
+        f"Backend ablation - Fig 15(a) workload, python vs compiled sql, "
+        f"round trip = {latency * 1000:.1f} ms",
+        ["K", "python (ms)", "sql (ms)", "with-round-trips speedup"],
         rows,
     )
 
@@ -404,6 +465,7 @@ def main() -> None:
     fig16a(repeats, args.latency)
     fig16b(repeats, args.latency)
     scheduler_ablation(repeats)
+    sql_backend_report(repeats, args.latency)
     space_report()
     baselines_report(repeats)
     updates_report(repeats)

@@ -96,6 +96,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "bound (all three return identical results)",
         )
         sub.add_argument(
+            "--backend",
+            choices=("python", "python-hash", "sql"),
+            default=None,
+            help="per-CN execution backend: Python nested loops, Python "
+            "hash joins, or one compiled SQL statement per plan executed "
+            "inside SQLite (all return identical results; default "
+            "honors $REPRO_BACKEND, else python)",
+        )
+        sub.add_argument(
             "--debug-verify",
             action="store_true",
             dest="debug_verify",
@@ -179,6 +188,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default="shared-prefix+pruning",
         help="cross-CN scheduling strategy for the served engine",
     )
+    serve.add_argument(
+        "--backend",
+        choices=("python", "python-hash", "sql"),
+        default=None,
+        help="default execution backend for the served engine (per-request "
+        "override via the /search 'backend' option; default honors "
+        "$REPRO_BACKEND, else python)",
+    )
 
     update = commands.add_parser(
         "update",
@@ -227,7 +244,8 @@ def _make_engine(args: argparse.Namespace, loaded: LoadedDatabase) -> XKeyword:
     from .core import ExecutorConfig
 
     config = ExecutorConfig(
-        strategy=getattr(args, "strategy", "shared-prefix+pruning")
+        backend=getattr(args, "backend", None),
+        strategy=getattr(args, "strategy", "shared-prefix+pruning"),
     )
     return XKeyword(loaded, executor_config=config, verifier=verifier, tracer=tracer)
 
@@ -338,7 +356,11 @@ def _cmd_explain(args: argparse.Namespace) -> int:
     for ctssn in ctssns:
         print(f"\n  [{ctssn.score}] {ctssn}")
         plan = engine.plan(ctssn, containing)
-        for line in plan.describe().splitlines()[1:]:
+        role_filters = {
+            role: containing.allowed_tos(constraints)
+            for role, constraints in ctssn.keyword_roles()
+        }
+        for line in plan.describe(engine.stores, role_filters).splitlines()[1:]:
             print(f"  {line}")
     return 0
 
@@ -430,6 +452,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracing=not args.no_tracing,
         slow_query_seconds=args.slow_query or None,
         strategy=args.strategy,
+        backend=args.backend,
     )
     print(
         f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "

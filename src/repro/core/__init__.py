@@ -10,6 +10,10 @@ from .ctssn import (
 )
 from .engine import SearchHooks, SearchResult, XKeyword
 from .execution import (
+    BACKEND_PYTHON,
+    BACKEND_PYTHON_HASH,
+    BACKEND_SQL,
+    BACKENDS,
     STRATEGIES,
     CTSSNExecutor,
     ExecutionMetrics,
@@ -30,9 +34,21 @@ from .plans import ExecutionPlan, PlanStep
 from .presentation import DisplayNode, PresentationGraph
 from .query import KeywordQuery
 from .results import MTNN, MTTON, MTTONEdge, materialize, node_network
+from .sqlcompile import (
+    CompiledQuery,
+    SQLCTSSNExecutor,
+    compile_plan,
+    compile_prefix,
+    render_sql,
+)
 
 __all__ = [
+    "BACKEND_PYTHON",
+    "BACKEND_PYTHON_HASH",
+    "BACKEND_SQL",
+    "BACKENDS",
     "CNGenerator",
+    "CompiledQuery",
     "CTSSN",
     "CTSSNExecutor",
     "CandidateNetwork",
@@ -56,6 +72,7 @@ __all__ = [
     "ResultCache",
     "ResultRow",
     "STRATEGIES",
+    "SQLCTSSNExecutor",
     "SearchHooks",
     "SearchResult",
     "SharedPrefixTable",
@@ -63,10 +80,13 @@ __all__ = [
     "WitnessConstraint",
     "XKeyword",
     "assign_shared_prefixes",
+    "compile_plan",
+    "compile_prefix",
     "materialize",
     "prefix_spec",
     "max_ctssn_size",
     "node_network",
     "reduce_to_ctssn",
+    "render_sql",
     "schema_edge_id",
 ]

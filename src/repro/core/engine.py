@@ -19,10 +19,12 @@ from typing import Callable, Mapping, Protocol, Sequence
 from ..schema.tss import TSSGraph
 from ..storage.decomposer import LoadedDatabase
 from ..storage.relations import RelationStore
+from ..storage.stmtcache import CompiledStatementCache
 from ..trace import NULL_TRACER, QueryTrace, Span
 from .cn_generator import CandidateNetwork, CNGenerator
 from .ctssn import CTSSN, reduce_to_ctssn
 from .execution import (
+    BACKEND_SQL,
     CTSSNExecutor,
     ExecutionMetrics,
     ExecutionObserver,
@@ -38,6 +40,7 @@ from .optimizer import Optimizer
 from .plans import ExecutionPlan
 from .query import KeywordQuery
 from .results import MTTON, materialize
+from .sqlcompile import SQLCTSSNExecutor, render_sql
 
 
 @dataclass
@@ -149,6 +152,7 @@ class XKeyword:
         hooks: SearchHooks | None = None,
         verifier: NetworkVerifier | None = None,
         tracer=None,
+        statement_cache: CompiledStatementCache | None = None,
     ) -> None:
         """
         Args:
@@ -166,6 +170,10 @@ class XKeyword:
                 search records a span tree onto ``SearchResult.trace``
                 (the EXPLAIN/``/debug/trace`` substrate).  ``None`` uses
                 the null tracer — the identical code path at no-op cost.
+            statement_cache: Compiled-SQL statement cache for the
+                ``sql`` backend; the service passes one guarded by its
+                mutation ``VersionVector``.  A private unguarded cache
+                is created when omitted.
         """
         self.loaded = loaded
         names = store_priority or list(loaded.stores)
@@ -176,6 +184,7 @@ class XKeyword:
         self.verifier = verifier
         self.tracer = tracer or NULL_TRACER
         self.optimizer = Optimizer(self.stores, loaded.statistics)
+        self.statement_cache = statement_cache or CompiledStatementCache()
 
     # ------------------------------------------------------------------
     # Pipeline stages, individually exposed for tests and examples
@@ -240,6 +249,38 @@ class XKeyword:
             self.verifier.check_plan(plan, self.stores)
         return plan
 
+    def _make_executor(
+        self, plan: ExecutionPlan, containing: ContainingLists,
+        config: ExecutorConfig, **kwargs
+    ) -> CTSSNExecutor:
+        """Build the executor the configured backend selects."""
+        if config.backend == BACKEND_SQL:
+            return SQLCTSSNExecutor(
+                plan,
+                self.stores,
+                containing,
+                statement_cache=self.statement_cache,
+                config=config,
+                **kwargs,
+            )
+        return CTSSNExecutor(plan, self.stores, containing, config=config, **kwargs)
+
+    def compiled_sql(
+        self, plan: ExecutionPlan, containing: ContainingLists
+    ) -> str:
+        """The statement the ``sql`` backend executes for ``plan``.
+
+        EXPLAIN's view of the compiler: the same rendering the
+        :class:`~repro.core.sqlcompile.SQLCTSSNExecutor` runs (shared
+        prefixes aside — those are assigned per query, so EXPLAIN shows
+        the standalone form).
+        """
+        role_filters = {
+            role: containing.allowed_tos(constraints)
+            for role, constraints in plan.ctssn.keyword_roles()
+        }
+        return render_sql(plan, self.stores, role_filters)
+
     # ------------------------------------------------------------------
     # Search entry points
     # ------------------------------------------------------------------
@@ -300,11 +341,10 @@ class XKeyword:
             plan = self._verified_plan(
                 self.optimizer.plan(ctssn, role_costs_of[ctssn.canonical_key])
             )
-            executor = CTSSNExecutor(
+            executor = self._make_executor(
                 plan,
-                self.stores,
                 containing,
-                config=config,
+                config,
                 lookup_cache=lookup_cache,
                 observer=self.hooks.observer,
             )
@@ -450,11 +490,11 @@ class XKeyword:
                 cn_span.finish()
                 return local_metrics
             execute_span = cn_span.child("execute")
-            executor = CTSSNExecutor(
+            execute_span.annotate(backend=config.backend)
+            executor = self._make_executor(
                 plan,
-                self.stores,
                 containing,
-                config=config,
+                config,
                 metrics=local_metrics,
                 lookup_cache=lookup_cache,
                 observer=self.hooks.observer,

@@ -26,7 +26,9 @@ bind distinct target objects (an MTTON is a *set* of target objects).
 from __future__ import annotations
 
 import heapq
+import os
 import threading
+import warnings
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
@@ -54,6 +56,22 @@ STRATEGIES = (
     STRATEGY_SHARED_PREFIX_PRUNING,
 )
 """Valid values for :attr:`ExecutorConfig.strategy`, weakest first."""
+
+BACKEND_PYTHON = "python"
+"""Per-probe nested loops in Python with suffix memoization."""
+
+BACKEND_PYTHON_HASH = "python-hash"
+"""Python nested loops over prefetched in-memory hash joins."""
+
+BACKEND_SQL = "sql"
+"""Each plan compiled to one SQL statement executed inside the DBMS."""
+
+BACKENDS = (BACKEND_PYTHON, BACKEND_PYTHON_HASH, BACKEND_SQL)
+"""Valid values for :attr:`ExecutorConfig.backend`."""
+
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+"""Environment variable supplying the default backend (CI runs the
+tier-1 suite once per backend by exporting it)."""
 
 
 @dataclass
@@ -463,36 +481,177 @@ class _HashAccess:
         return matches
 
 
-@dataclass
+_UNSET = object()
+"""Sentinel distinguishing an omitted deprecated kwarg from ``False``."""
+
+
 class ExecutorConfig:
-    """Execution-mode switches (Section 6 variants)."""
+    """Execution-mode switches (Section 6 variants).
 
-    use_cache: bool = True
-    """Optimized (cached) vs naive nested loops."""
+    The execution backend is one validated enum value
+    (:data:`BACKENDS`) instead of the accreted booleans of earlier
+    revisions:
 
-    hash_join: bool = False
-    """Prefetch + hash join instead of per-probe SQL (all-results mode)."""
+    * ``python`` — per-probe nested loops with suffix memoization (the
+      oracle the equivalence suite trusts);
+    * ``python-hash`` — full-scan + in-memory hash joins (the Figure
+      15(b) all-results strategy);
+    * ``sql`` — each plan compiled to one parameterized SELECT and
+      executed inside the DBMS (see :mod:`repro.core.sqlcompile`).
 
-    share_lookups: bool = True
-    """Reuse common subexpressions across candidate networks via a shared
-    relation-lookup cache (ignored under ``hash_join``)."""
+    ``backend=None`` (the default) resolves from the
+    :data:`REPRO_BACKEND <BACKEND_ENV_VAR>` environment variable, falling
+    back to ``python`` — that is how CI runs the whole tier-1 suite once
+    per backend without editing every test.
 
-    cache_capacity: int = 50_000
+    Two orthogonal Python-executor tuning knobs survive as keyword-only
+    booleans: ``memoize`` (suffix/partial-result caching; ``False`` is
+    the paper's naive executor) and ``shared_lookup_cache`` (the
+    cross-CN relation-lookup cache).
 
-    strategy: str = STRATEGY_SHARED_PREFIX_PRUNING
-    """Cross-CN scheduling strategy (one of :data:`STRATEGIES`):
-    ``serial`` evaluates every CN independently, ``shared-prefix`` adds
-    once-per-query materialization of canonicalized common join
-    prefixes, ``shared-prefix+pruning`` (default) also skips or abandons
-    CNs whose minimum achievable MTNN size exceeds the global k-th best.
-    All three return identical top-k results — the knob exists for the
-    EXPERIMENTS.md ablation."""
+    The pre-redesign boolean kwargs (``use_cache``, ``hash_join``,
+    ``share_lookups``) are still accepted with a ``DeprecationWarning``
+    and map onto the new surface (``hash_join=True`` → ``python-hash``,
+    ``use_cache`` → ``memoize``, ``share_lookups`` →
+    ``shared_lookup_cache``); passing a deprecated kwarg together with
+    an explicit ``backend=`` or its new spelling is rejected.
+    Validation collects *every* invalid field into one error instead of
+    stopping at the first.
+    """
 
-    def __post_init__(self) -> None:
-        if self.strategy not in STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {self.strategy!r}; expected one of {STRATEGIES}"
+    __slots__ = (
+        "backend",
+        "cache_capacity",
+        "strategy",
+        "_memoize",
+        "_share_lookups",
+    )
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        *,
+        cache_capacity: int = 50_000,
+        strategy: str = STRATEGY_SHARED_PREFIX_PRUNING,
+        memoize=_UNSET,
+        shared_lookup_cache=_UNSET,
+        use_cache=_UNSET,
+        hash_join=_UNSET,
+        share_lookups=_UNSET,
+    ) -> None:
+        """
+        Args:
+            backend: One of :data:`BACKENDS`, or ``None`` to resolve from
+                ``$REPRO_BACKEND`` (default ``python``).
+            cache_capacity: Suffix/lookup cache size (positive).
+            strategy: Cross-CN scheduling strategy (one of
+                :data:`STRATEGIES`): ``serial`` evaluates every CN
+                independently, ``shared-prefix`` adds once-per-query
+                materialization of canonicalized common join prefixes,
+                ``shared-prefix+pruning`` (default) also skips or
+                abandons CNs whose minimum achievable MTNN size exceeds
+                the global k-th best.  All three return identical top-k
+                results — the knob exists for the EXPERIMENTS.md
+                ablation.
+            memoize: ``False`` selects naive (uncached) Python nested
+                loops — the paper's DISCOVER-style baseline.
+            shared_lookup_cache: ``False`` disables the cross-CN shared
+                relation-lookup cache on the Python backend.
+            use_cache: Deprecated — old spelling of ``memoize``.
+            hash_join: Deprecated — ``True`` maps to
+                ``backend="python-hash"``.
+            share_lookups: Deprecated — old spelling of
+                ``shared_lookup_cache``.
+        """
+        deprecated = {
+            name: value
+            for name, value in (
+                ("use_cache", use_cache),
+                ("hash_join", hash_join),
+                ("share_lookups", share_lookups),
             )
+            if value is not _UNSET
+        }
+        if deprecated:
+            warnings.warn(
+                f"ExecutorConfig kwargs {sorted(deprecated)} are deprecated; "
+                f"use backend= (one of {BACKENDS}) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        errors: list[str] = []
+        if backend is not None and deprecated:
+            errors.append(
+                f"backend={backend!r} conflicts with deprecated kwarg(s) "
+                f"{sorted(deprecated)}; pass only backend"
+            )
+        if memoize is not _UNSET and "use_cache" in deprecated:
+            errors.append(
+                "memoize conflicts with its deprecated spelling use_cache; "
+                "pass only memoize"
+            )
+        if shared_lookup_cache is not _UNSET and "share_lookups" in deprecated:
+            errors.append(
+                "shared_lookup_cache conflicts with its deprecated spelling "
+                "share_lookups; pass only shared_lookup_cache"
+            )
+        if backend is not None:
+            resolved = backend
+        elif deprecated:
+            # Deprecated kwargs keep their historical meaning even when
+            # $REPRO_BACKEND is set: the caller asked for a specific
+            # Python variant, not for whatever the environment defaults to.
+            resolved = (
+                BACKEND_PYTHON_HASH
+                if deprecated.get("hash_join")
+                else BACKEND_PYTHON
+            )
+        else:
+            resolved = os.environ.get(BACKEND_ENV_VAR) or BACKEND_PYTHON
+        if resolved not in BACKENDS:
+            errors.append(
+                f"unknown backend {resolved!r}; expected one of {BACKENDS}"
+            )
+        if strategy not in STRATEGIES:
+            errors.append(
+                f"unknown strategy {strategy!r}; expected one of {STRATEGIES}"
+            )
+        if not isinstance(cache_capacity, int) or cache_capacity < 1:
+            errors.append(
+                f"cache_capacity must be a positive integer, got {cache_capacity!r}"
+            )
+        if errors:
+            raise ValueError("; ".join(errors))
+        self.backend = resolved
+        self.cache_capacity = cache_capacity
+        self.strategy = strategy
+        if use_cache is not _UNSET:
+            self._memoize = bool(use_cache)
+        else:
+            self._memoize = True if memoize is _UNSET else bool(memoize)
+        if share_lookups is not _UNSET:
+            self._share_lookups = bool(share_lookups)
+        else:
+            self._share_lookups = (
+                True if shared_lookup_cache is _UNSET
+                else bool(shared_lookup_cache)
+            )
+
+    # -- read-only views the executor internals key off -----------------
+    @property
+    def use_cache(self) -> bool:
+        """Whether the Python executor memoizes partial (suffix) results."""
+        return bool(self._memoize)
+
+    @property
+    def hash_join(self) -> bool:
+        """Whether execution uses prefetch + in-memory hash joins."""
+        return self.backend == BACKEND_PYTHON_HASH
+
+    @property
+    def share_lookups(self) -> bool:
+        """Whether CNs share a relation-lookup cache (Python backend)."""
+        return bool(self._share_lookups)
 
     @property
     def share_prefixes(self) -> bool:
@@ -503,6 +662,23 @@ class ExecutorConfig:
     def prune_by_bound(self) -> bool:
         """Whether the scheduler prunes CNs by the global top-k bound."""
         return self.strategy == STRATEGY_SHARED_PREFIX_PRUNING
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutorConfig(backend={self.backend!r}, "
+            f"strategy={self.strategy!r}, cache_capacity={self.cache_capacity})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExecutorConfig):
+            return NotImplemented
+        return (
+            self.backend == other.backend
+            and self.strategy == other.strategy
+            and self.cache_capacity == other.cache_capacity
+            and self._memoize == other._memoize
+            and self._share_lookups == other._share_lookups
+        )
 
 
 class CTSSNExecutor:
@@ -809,7 +985,15 @@ class CTSSNExecutor:
                 assignment[network_role] = value
             if valid:
                 candidates.append(assignment)
+        # Canonical enumeration order: every level iterates its new-role
+        # assignments sorted by value (roles in ascending id order), so
+        # the whole run enumerates rows lexicographically in binding
+        # order regardless of physical row order.  This is what lets the
+        # SQL backend reproduce the exact same top-k subset with an
+        # ORDER BY over the binding-order columns.
+        candidates.sort(key=lambda a: tuple(a[role] for role in sorted(a)))
         if prefer:
+            # Stable: preference groups keep the canonical order inside.
             candidates.sort(key=lambda a: self._prefer_rank(a, prefer))
         seen: set[tuple] = set()
         for assignment in candidates:

@@ -205,6 +205,17 @@ class Optimizer:
         anchor_role: int,
         store_by_relation: dict[str, str],
     ) -> list[PlanStep]:
+        """Greedy join ordering over the chosen cover.
+
+        The step order is part of the executors' determinism contract:
+        the anchor role plus each step's sorted ``new_roles`` define the
+        *binding order* both backends enumerate and compare rows by (the
+        Python nested loops via the canonical candidate sort, the SQL
+        compiler via ``ORDER BY`` — see
+        :func:`repro.core.sqlcompile.binding_order`).  Reordering steps
+        changes which k-subset a >k-result CN contributes, so any change
+        here must keep both backends reading the same plan.
+        """
         keyword_roles = {role for role, _ in ctssn.keyword_roles()}
         remaining = list(cover)
         bound: set[int] = set()

@@ -59,8 +59,21 @@ class ExecutionPlan:
         """Connection-relation names of the steps, in join order."""
         return [step.relation_name for step in self.steps]
 
-    def describe(self) -> str:
-        """Human-readable plan, for logs and examples."""
+    def describe(
+        self,
+        stores=None,
+        role_filters: dict[int, set[str]] | None = None,
+    ) -> str:
+        """Human-readable plan, for logs and examples.
+
+        Args:
+            stores: Relation stores by store name; when given (together
+                with ``role_filters``) the compiled SQL the ``sql``
+                backend would execute is rendered below the nested-loop
+                steps.
+            role_filters: Admitted target objects per keyword role, as
+                the executor computes them from the containing lists.
+        """
         lines = [f"plan for {self.ctssn} (joins={self.join_count})"]
         for index, step in enumerate(self.steps):
             joins = ", ".join(f"r{r}" for r in step.shared_roles) or "-"
@@ -68,5 +81,13 @@ class ExecutionPlan:
             lines.append(
                 f"  step {index}: {step.relation_name} [{step.store_name}] "
                 f"join on {joins} binds {news}"
+            )
+        if stores is not None and role_filters is not None:
+            from .sqlcompile import render_sql
+
+            lines.append("  compiled sql:")
+            lines.extend(
+                f"    {sql_line}"
+                for sql_line in render_sql(self, stores, role_filters).splitlines()
             )
         return "\n".join(lines)

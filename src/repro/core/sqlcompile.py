@@ -1,0 +1,468 @@
+"""Plan → SQL compiler: execute whole join plans inside the DBMS.
+
+The paper's system ships each candidate-network plan to the relational
+engine as one statement; the Python executor instead nested-loops over
+per-probe queries, so every intermediate tuple crosses the Python
+boundary.  This module closes that gap: an :class:`ExecutionPlan` is an
+ordered join tree over materialized connection-relation tables, so it
+renders directly as one parameterized ``SELECT``:
+
+* the anchor fragment is bound first through the keyword filter (the
+  containing list's admitted target objects become an ``IN`` parameter
+  list — witness satisfaction is evaluated Python-side by
+  :meth:`~repro.core.matching.ContainingLists.allowed_tos`, exactly as
+  the Python executor's ``role_filters`` are);
+* each subsequent :class:`~repro.core.plans.PlanStep` becomes an
+  ``INNER JOIN`` equating its shared-role columns with the expressions
+  that first bound those roles;
+* MTTON injectivity (distinct roles bind distinct target objects) is a
+  pairwise ``<>`` clique over the role expressions, and per-level
+  assignment dedup becomes ``SELECT DISTINCT``;
+* shared prefixes from
+  :func:`~repro.core.execution.assign_shared_prefixes` are rendered as a
+  ``VALUES`` CTE over the rows the scheduler materialized once per query
+  (the :class:`~repro.core.execution.SharedPrefixTable` contract
+  survives compilation: the prefix subplan runs exactly once, every
+  borrowing CN re-joins its rows engine-side);
+* the global top-k bound is pushed down as ``LIMIT ?``: every result of
+  one CTSSN scores exactly ``ctssn.score``, so score order is constant
+  within a plan and the cutoff is monotone — the scheduler's skip/abandon
+  logic handles cross-CN pruning.
+
+Determinism contract: the Python executor enumerates rows
+lexicographically in *binding order* (anchor value first, then each
+step's newly bound roles in ascending role-id order — see
+``CTSSNExecutor._compute``).  The compiled statement therefore carries
+``ORDER BY`` over the same binding-order columns; SQLite's BINARY
+collation compares UTF-8 bytes, which agrees with Python's code-point
+string ordering, so both backends truncate ``limit=k`` to the identical
+row subset.  That is what makes ``backend="sql"`` bit-for-bit equal to
+the Python oracle in the equivalence suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..storage.database import quote_identifier
+from ..storage.relations import RelationStore
+from .execution import CTSSNExecutor, PrefixSpec, ResultRow
+from .plans import ExecutionPlan
+
+
+@dataclass(frozen=True)
+class CompiledQuery:
+    """One plan rendered as a single parameterized SELECT.
+
+    ``roles`` gives, per select-list position, the CTSSN role the column
+    binds; ``params`` are the keyword-filter values in select order (the
+    ``LIMIT`` parameter, when ``with_limit`` is set, is appended by the
+    executor at run time).  ``empty`` marks plans proven resultless at
+    compile time (a keyword role whose admission set is empty) — no SQL
+    is emitted for those.
+    """
+
+    sql: str
+    params: tuple[str, ...]
+    roles: tuple[int, ...]
+    with_limit: bool = False
+    empty: bool = False
+
+
+#: Compile-time zero-result sentinel (an admission set was empty).
+EMPTY_QUERY = CompiledQuery(sql="", params=(), roles=(), empty=True)
+
+
+def binding_order(plan: ExecutionPlan, stop: int | None = None) -> tuple[int, ...]:
+    """Roles in the order the nested-loop executor binds them.
+
+    The anchor role seeds the loop; each step then contributes its
+    first-bound roles in ascending role-id order — the exact order the
+    canonicalized Python enumeration (and therefore the compiled
+    ``ORDER BY``) compares rows by.
+    """
+    ordered: list[int] = [plan.anchor_role]
+    seen = {plan.anchor_role}
+    for step in plan.steps[: len(plan.steps) if stop is None else stop]:
+        for role in sorted(step.new_roles):
+            if role not in seen:
+                seen.add(role)
+                ordered.append(role)
+    return tuple(ordered)
+
+
+def _sql_literal(value: str) -> str:
+    """A safely quoted SQL string literal (target-object ids)."""
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _compile(
+    plan: ExecutionPlan,
+    stores: dict[str, RelationStore],
+    role_filters: dict[int, set[str]],
+    *,
+    stop: int | None = None,
+    output_roles: Sequence[int] | None = None,
+    prefix: PrefixSpec | None = None,
+    prefix_rows: Sequence[tuple[str, ...]] | None = None,
+    with_limit: bool = False,
+) -> CompiledQuery:
+    """Shared renderer behind :func:`compile_plan` / :func:`compile_prefix`."""
+    steps = plan.steps[: len(plan.steps) if stop is None else stop]
+    if not steps:
+        raise ValueError("cannot compile a zero-step plan to SQL")
+    role_expr: dict[int, str] = {}
+    from_parts: list[str] = []
+    where: list[str] = []
+    params: list[str] = []
+    prefix_roles: frozenset[int] = frozenset()
+    cte = ""
+
+    start = 0
+    if prefix is not None:
+        if prefix_rows is None:
+            raise ValueError("a shared prefix needs its materialized rows")
+        columns = [f"s{slot}" for slot in range(len(prefix.roles_by_slot))]
+        values = ", ".join(
+            "(" + ", ".join(_sql_literal(value) for value in row) + ")"
+            for row in prefix_rows
+        )
+        cte = f"WITH pfx ({', '.join(columns)}) AS (VALUES {values})\n"
+        from_parts.append("pfx")
+        for slot, role in enumerate(prefix.roles_by_slot):
+            role_expr[role] = f"pfx.{columns[slot]}"
+        prefix_roles = frozenset(prefix.roles_by_slot)
+        start = prefix.length
+
+    for index in range(start, len(steps)):
+        step = steps[index]
+        alias = f"t{index}"
+        fragment = step.piece.fragment
+        on: list[str] = []
+        join_columns: list[str] = []
+        fresh_roles: list[tuple[int, str]] = []
+        for fragment_role, network_role in sorted(step.piece.role_map):
+            column = fragment.column_for_role(fragment_role)
+            expression = f"{alias}.{quote_identifier(column)}"
+            known = role_expr.get(network_role)
+            if known is None:
+                role_expr[network_role] = expression
+                fresh_roles.append((network_role, column))
+            else:
+                on.append(f"{expression} = {known}")
+                if not known.startswith(f"{alias}."):
+                    join_columns.append(column)
+        # Read the rotation copy clustered on this table's access column
+        # — the join column probed per outer row, or (for the seed
+        # table) the most selective keyword-admission column — so the
+        # DBMS gets the same index-organized access path the Python
+        # executor's per-probe lookup picks.
+        if join_columns:
+            access = join_columns[0]
+        else:
+            filtered = [
+                (len(role_filters[role]), column)
+                for role, column in fresh_roles
+                if role_filters.get(role)
+            ]
+            access = min(filtered)[1] if filtered else None
+        table = stores[step.store_name].clustered_table(fragment, access)
+        if not from_parts:
+            from_parts.append(f"{table} AS {alias}")
+            where.extend(on)
+        else:
+            from_parts.append(
+                f"JOIN {table} AS {alias} ON {' AND '.join(on) if on else '1 = 1'}"
+            )
+
+    # Keyword admission: the containing lists' admitted target objects,
+    # bound as parameters.  Prefix roles were filtered when the prefix
+    # rows were materialized, so they are not re-filtered here.
+    for role in sorted(role_expr):
+        if role in prefix_roles:
+            continue
+        allowed = role_filters.get(role)
+        if allowed is None:
+            continue
+        if not allowed:
+            return EMPTY_QUERY
+        ordered_values = sorted(allowed)
+        placeholders = ", ".join("?" for _ in ordered_values)
+        where.append(f"{role_expr[role]} IN ({placeholders})")
+        params.extend(ordered_values)
+
+    # Injectivity: an MTTON is a *set* of target objects, so distinct
+    # roles must bind distinct ids.  Pairs fully inside the prefix were
+    # already enforced when its rows were enumerated.
+    roles = sorted(role_expr)
+    for position, role_a in enumerate(roles):
+        for role_b in roles[position + 1 :]:
+            if role_a in prefix_roles and role_b in prefix_roles:
+                continue
+            where.append(f"{role_expr[role_a]} <> {role_expr[role_b]}")
+
+    ordered_roles = binding_order(plan, stop=stop)
+    selected = tuple(output_roles) if output_roles is not None else ordered_roles
+    select = ", ".join(f"{role_expr[role]} AS r{role}" for role in selected)
+    lines = [f"SELECT DISTINCT {select}", f"FROM {from_parts[0]}"]
+    lines.extend(f"  {part}" for part in from_parts[1:])
+    if where:
+        lines.append("WHERE " + "\n  AND ".join(where))
+    lines.append("ORDER BY " + ", ".join(f"r{role}" for role in ordered_roles))
+    if with_limit:
+        lines.append("LIMIT ?")
+    return CompiledQuery(
+        sql=cte + "\n".join(lines),
+        params=tuple(params),
+        roles=selected,
+        with_limit=with_limit,
+    )
+
+
+def compile_plan(
+    plan: ExecutionPlan,
+    stores: dict[str, RelationStore],
+    role_filters: dict[int, set[str]],
+    *,
+    prefix: PrefixSpec | None = None,
+    prefix_rows: Sequence[tuple[str, ...]] | None = None,
+    with_limit: bool = False,
+) -> CompiledQuery:
+    """Render one execution plan as a single parameterized SELECT.
+
+    Args:
+        plan: The optimizer's plan (at least one step; zero-join CTSSNs
+            are evaluated from the containing list without SQL).
+        stores: Relation stores by store name (supply physical tables).
+        role_filters: Admitted target objects per keyword-annotated role
+            (``CTSSNExecutor.role_filters``).
+        prefix: The plan's shared join prefix, when the scheduler
+            assigned one; rendered as a ``VALUES`` CTE over
+            ``prefix_rows`` so the once-per-query materialization
+            survives compilation.
+        prefix_rows: The canonical rows materialized for ``prefix``.
+        with_limit: Append ``LIMIT ?`` (top-k pushdown; the bound is
+            supplied at execution time).
+    """
+    return _compile(
+        plan,
+        stores,
+        role_filters,
+        prefix=prefix,
+        prefix_rows=prefix_rows,
+        with_limit=with_limit,
+    )
+
+
+def compile_prefix(
+    plan: ExecutionPlan,
+    stores: dict[str, RelationStore],
+    role_filters: dict[int, set[str]],
+    spec: PrefixSpec,
+) -> CompiledQuery:
+    """Render a shared join prefix as a standalone SELECT.
+
+    The select list follows ``spec.roles_by_slot`` so the produced rows
+    drop straight into the cross-CN
+    :class:`~repro.core.execution.SharedPrefixTable` in canonical slot
+    order, interchangeable with the Python executor's enumeration.
+    """
+    return _compile(
+        plan,
+        stores,
+        role_filters,
+        stop=spec.length,
+        output_roles=spec.roles_by_slot,
+    )
+
+
+def render_sql(
+    plan: ExecutionPlan,
+    stores: dict[str, RelationStore],
+    role_filters: dict[int, set[str]],
+) -> str:
+    """The compiled SQL for EXPLAIN output (never raises on edge plans)."""
+    if not plan.steps:
+        return (
+            "-- zero-join plan: results come straight from the containing "
+            "list, no SQL is compiled"
+        )
+    compiled = compile_plan(plan, stores, role_filters)
+    if compiled.empty:
+        return "-- no SQL: a keyword admission set is empty (zero results)"
+    return compiled.sql
+
+
+def _one_line(sql: str) -> str:
+    """Compiled SQL flattened for span attributes and logs."""
+    return " ".join(sql.split())
+
+
+class SQLCTSSNExecutor(CTSSNExecutor):
+    """Executes one planned CTSSN as a single compiled SQL statement.
+
+    Falls back to the Python nested-loop superclass for the cases SQL
+    does not cover: zero-join plans (no relations to join — results come
+    from the containing list) and the on-demand expansion path
+    (``fixed_bindings``/``prefer``), which needs preference-ordered
+    incremental enumeration.
+    """
+
+    def __init__(
+        self,
+        plan: ExecutionPlan,
+        stores: dict[str, RelationStore],
+        containing,
+        statement_cache=None,
+        **kwargs,
+    ) -> None:
+        """Superclass arguments pass through unchanged.
+
+        Args:
+            statement_cache: Optional
+                :class:`~repro.storage.stmtcache.CompiledStatementCache`
+                shared across queries; compiled SQL is keyed by the plan
+                signature + parameter shape and guarded by the database's
+                fingerprint ``VersionVector``.
+        """
+        super().__init__(plan, stores, containing, **kwargs)
+        self._stores = stores
+        self._statement_cache = statement_cache
+        self._database = (
+            stores[plan.steps[0].store_name].database if plan.steps else None
+        )
+
+    # ------------------------------------------------------------------
+    def _run(
+        self,
+        limit: int | None,
+        fixed_bindings: ResultRow | None,
+        prefer: dict[int, set[str]] | None,
+    ) -> Iterator[ResultRow]:
+        if (
+            fixed_bindings
+            or prefer is not None
+            or self._database is None
+            or not self.plan.steps
+        ):
+            yield from super()._run(limit, fixed_bindings, prefer)
+            return
+        yield from self._run_sql(limit)
+
+    def _run_sql(self, limit: int | None) -> Iterator[ResultRow]:
+        spec = self._prefix
+        prefix_rows: list[tuple[str, ...]] | None = None
+        if spec is not None and self._prefix_table is not None:
+            rows, reused = self._prefix_table.get_or_materialize(
+                spec.key, lambda: self._materialize_prefix(spec)
+            )
+            if reused:
+                self.metrics.prefix_hits += 1
+            else:
+                self.metrics.prefix_materializations += 1
+            if self._span is not None:
+                self._span.annotate(
+                    prefix_reuse={
+                        "reused": reused,
+                        "length": spec.length,
+                        "rows": len(rows),
+                    }
+                )
+            if not rows:
+                return
+            prefix_rows = rows
+        else:
+            spec = None
+
+        compiled = self._compiled(spec, prefix_rows, limit is not None)
+        if compiled.empty:
+            return
+        params: list = list(compiled.params)
+        if compiled.with_limit:
+            params.append(limit)
+        self.metrics.queries_sent += 1
+        rows = self._database.query(compiled.sql, params)
+        self.metrics.rows_fetched += len(rows)
+        if self._span is not None:
+            self._span.record_lookup("compiled-sql", len(rows), False)
+            self._span.annotate(sql=_one_line(compiled.sql))
+        if self.observer is not None:
+            self.observer.on_query("compiled-sql", len(rows), False)
+        for row in rows:
+            self.metrics.results += 1
+            yield dict(zip(compiled.roles, row))
+
+    # ------------------------------------------------------------------
+    def _materialize_prefix(self, spec: PrefixSpec) -> list[tuple[str, ...]]:
+        """Produce the shared prefix's canonical rows with one statement."""
+        compiled = compile_prefix(
+            self.plan, self._stores, self.role_filters, spec
+        )
+        if compiled.empty:
+            return []
+        self.metrics.queries_sent += 1
+        rows = self._database.query(compiled.sql, list(compiled.params))
+        self.metrics.rows_fetched += len(rows)
+        if self._span is not None:
+            self._span.record_lookup("compiled-sql:prefix", len(rows), False)
+        if self.observer is not None:
+            self.observer.on_query("compiled-sql:prefix", len(rows), False)
+        return rows
+
+    def _compiled(
+        self,
+        spec: PrefixSpec | None,
+        prefix_rows: list[tuple[str, ...]] | None,
+        with_limit: bool,
+    ) -> CompiledQuery:
+        """Compile (or replay) this plan's statement via the shared cache."""
+        cache = self._statement_cache
+        if cache is None:
+            return compile_plan(
+                self.plan,
+                self._stores,
+                self.role_filters,
+                prefix=spec,
+                prefix_rows=prefix_rows,
+                with_limit=with_limit,
+            )
+        plan = self.plan
+        # The SQL text depends on the plan shape, the *lengths* of the
+        # IN parameter lists, and (prefix rows being inlined literals)
+        # the prefix row values themselves — all captured in the key, so
+        # a hit can never replay a stale statement even without the
+        # version guard.
+        key = (
+            plan.ctssn.canonical_key,
+            plan.anchor_role,
+            tuple((step.relation_name, step.store_name) for step in plan.steps),
+            tuple(
+                (role, len(allowed))
+                for role, allowed in sorted(self.role_filters.items())
+            ),
+            (spec.key, tuple(prefix_rows or ())) if spec is not None else None,
+            with_limit,
+        )
+        compiled = cache.get(key)
+        if compiled is None:
+            compiled = compile_plan(
+                plan,
+                self._stores,
+                self.role_filters,
+                prefix=spec,
+                prefix_rows=prefix_rows,
+                with_limit=with_limit,
+            )
+            cache.put(
+                key,
+                compiled,
+                keywords=[
+                    keyword
+                    for _, constraints in plan.ctssn.keyword_roles()
+                    for constraint in constraints
+                    for keyword in constraint.keywords
+                ],
+                relations=plan.relations_used(),
+            )
+        return compiled

@@ -56,6 +56,7 @@ from urllib.parse import parse_qs, urlparse
 
 from ..analysis.plans import DebugVerifier
 from ..core import (
+    BACKENDS,
     ExecutionObserver,
     ExecutorConfig,
     KeywordQuery,
@@ -64,7 +65,7 @@ from ..core import (
     SearchResult,
     XKeyword,
 )
-from ..storage import LoadedDatabase, VersionVector
+from ..storage import CompiledStatementCache, LoadedDatabase, VersionVector
 from ..trace import NULL_TRACER, TraceStore, Tracer
 from ..updates import UpdateManager
 from .admission import AdmissionController, DeadlineExceededError, RejectedError
@@ -116,6 +117,13 @@ class ServiceConfig:
     """Cross-CN scheduling strategy for the served engine (one of
     :data:`repro.core.execution.STRATEGIES`); the default shares join
     prefixes across CNs and prunes by the global top-k bound."""
+
+    backend: str | None = None
+    """Default execution backend for the served engine (one of
+    :data:`repro.core.execution.BACKENDS`); ``None`` honors the
+    ``REPRO_BACKEND`` environment variable and falls back to the Python
+    nested-loop executor.  Requests may override per query via the
+    ``/search`` body's ``backend`` option."""
 
 
 class _EngineInstrumentation(ExecutionObserver):
@@ -232,11 +240,14 @@ class QueryService:
         self._engine_factory = engine_factory or (
             lambda db, hooks: XKeyword(
                 db,
-                executor_config=ExecutorConfig(strategy=self.config.strategy),
+                executor_config=ExecutorConfig(
+                    backend=self.config.backend, strategy=self.config.strategy
+                ),
                 threads=self.config.engine_threads,
                 hooks=hooks,
                 verifier=DebugVerifier() if self.config.debug_verify else None,
                 tracer=self.tracer,
+                statement_cache=CompiledStatementCache(versions=self.versions),
             )
         )
         self.versions = VersionVector()
@@ -343,19 +354,41 @@ class QueryService:
         max_size: int = 8,
         all_results: bool = False,
         deadline: float | None = None,
+        backend: str | None = None,
     ) -> dict:
         """Run (or replay) one keyword search; returns the JSON payload.
 
         Cache hits are answered inline — they cost a dictionary probe, so
         they bypass admission control entirely and stay fast even when
         the worker pool is saturated.
+
+        Args:
+            backend: Per-request execution backend override (one of
+                :data:`repro.core.BACKENDS`); ``None`` uses the engine's
+                configured default.  All backends return identical
+                results, but entries are cached per backend so replays
+                keep honest per-backend traces and metrics.
         """
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; expected one of {BACKENDS}"
+            )
         query = KeywordQuery(tuple(keywords), max_size=max_size)
         mode = "all" if all_results else "topk"
         k = None if all_results else (k if k is not None else self.config.default_k)
         # One snapshot for the whole request: the cache key's fingerprint
         # must describe the engine that actually computes the result.
         state = self._state
+        # Injected test engines may not expose an executor config; they
+        # simply never honor a backend override.
+        base_config = getattr(state.engine, "executor_config", None)
+        override = (
+            backend is not None
+            and base_config is not None
+            and backend != base_config.backend
+        )
+        if override:
+            mode = f"{mode}@{backend}"
         key = query_cache_key(state.fingerprint, query, k, mode)
         started = time.perf_counter()
         cached = self.cache.get(key)
@@ -364,15 +397,24 @@ class QueryService:
             return self._payload(cached, k, time.perf_counter() - started, True)
         self._cache_misses.inc()
 
+        config = None
+        if override:
+            config = ExecutorConfig(
+                backend=backend,
+                strategy=base_config.strategy,
+                cache_capacity=base_config.cache_capacity,
+            )
+
         def execute() -> SearchResult:
             # The read side of the update lock: a concurrent mutation
             # waits for in-flight searches, and searches queued behind a
             # waiting writer see the fully published next epoch.
             guard = state.updates.read() if state.updates is not None else nullcontext()
+            overrides = {"config": config} if config is not None else {}
             with guard:
                 if all_results:
-                    return state.engine.search_all(query)
-                return state.engine.search(query, k=k)
+                    return state.engine.search_all(query, **overrides)
+                return state.engine.search(query, k=k, **overrides)
 
         result = self.admission.run(execute, deadline=deadline)
         self.cache.put(
@@ -757,12 +799,14 @@ class _Handler(BaseHTTPRequestHandler):
         if not keywords or not isinstance(keywords, list):
             raise ValueError('body needs "keywords": [..] or "q": "a b"')
         deadline = body.get("deadline")
+        backend = body.get("backend")
         return self.service.search(
             [str(k) for k in keywords],
             k=body.get("k"),
             max_size=int(body.get("max_size", 8)),
             all_results=bool(body.get("all", False)),
             deadline=float(deadline) if deadline is not None else None,
+            backend=str(backend) if backend is not None else None,
         )
 
     def _insert_document(self) -> dict:

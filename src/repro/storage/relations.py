@@ -325,6 +325,24 @@ class RelationStore:
     def row_count(self, fragment: Fragment) -> int:
         return self.database.row_count(self.base_table(fragment))
 
+    def clustered_table(self, fragment: Fragment, column: str | None) -> str:
+        """The physical table to read when access is keyed on ``column``.
+
+        Under ``ALL_ROTATIONS`` this is the clustered (``WITHOUT
+        ROWID``) rotation copy led by ``column``, whose primary key
+        turns equality on that column into an index range scan — the
+        same access path :meth:`lookup` picks per probe, exposed so the
+        plan→SQL compiler can reference it in join clauses.  Falls back
+        to the base table when ``column`` is ``None`` or no rotation
+        leads with it (other policies index, or don't, the base table
+        itself).
+        """
+        if self.policy is IndexPolicy.ALL_ROTATIONS and column is not None:
+            for leading, candidate in enumerate(fragment.columns):
+                if candidate == column:
+                    return self._rotation_table(fragment, leading)
+        return self.base_table(fragment)
+
     def _pick_table(
         self, fragment: Fragment, bindings: dict[str, str]
     ) -> tuple[str, tuple[str, ...]]:

@@ -1,0 +1,117 @@
+"""Compiled-statement cache for the SQL execution backend.
+
+The plan→SQL compiler (``repro.core.sqlcompile``) renders one statement
+per planned CTSSN; the text depends only on the plan shape and the
+*shape* of its parameters, so across a query workload the same handful
+of statements recur constantly.  This cache keeps them compiled once.
+
+Staleness follows the same fine-grained model as the service's result
+cache: each entry records a :class:`~repro.storage.fingerprint.VersionVector`
+snapshot over the query's keywords and the relations the plan scans, and
+is dropped the moment a live mutation advances one of those counters.
+The cache key itself already embeds everything the SQL text depends on
+(plan signature, parameter-list lengths, inlined prefix rows), so even
+an un-versioned cache can never replay a semantically wrong statement —
+the version guard keeps entries from outliving the data they were
+compiled against and doubles as mutation telemetry.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Iterable
+
+from .fingerprint import VersionVector
+
+
+class CompiledStatementCache:
+    """Thread-safe LRU cache of compiled SQL statements.
+
+    Values are opaque to this layer (the core compiler stores its
+    ``CompiledQuery`` objects).  When constructed with a
+    :class:`VersionVector`, entries are snapshot-guarded and invalidated
+    by live updates; without one the cache is purely capacity-bounded.
+    """
+
+    def __init__(
+        self, capacity: int = 256, versions: VersionVector | None = None
+    ) -> None:
+        """
+        Args:
+            capacity: Maximum number of cached statements (LRU eviction).
+            versions: The database's mutation counters; entries record
+                snapshots against it and go stale when a delta touches
+                their keywords or relations.  ``None`` disables the
+                guard (safe — see module docstring — but entries then
+                only leave via LRU pressure).
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self._capacity = capacity
+        self._versions = versions
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, tuple[Any, Any]] = OrderedDict()
+        # guarded by: self._lock
+        self._hits = 0  # guarded by: self._lock
+        self._misses = 0  # guarded by: self._lock
+        self._invalidations = 0  # guarded by: self._lock
+
+    def get(self, key: Hashable) -> Any | None:
+        """The cached statement for ``key``, or ``None`` on miss/stale."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            value, snapshot = entry
+            if (
+                snapshot is not None
+                and self._versions is not None
+                and self._versions.stale_reason(snapshot) is not None
+            ):
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(
+        self,
+        key: Hashable,
+        value: Any,
+        keywords: Iterable[str] = (),
+        relations: Iterable[str] = (),
+    ) -> None:
+        """Cache ``value``, snapshotting its keyword/relation versions."""
+        snapshot = (
+            self._versions.snapshot(keywords, relations)
+            if self._versions is not None
+            else None
+        )
+        with self._lock:
+            self._entries[key] = (value, snapshot)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every cached statement (whole-database reloads)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/invalidation counters plus current size."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "invalidations": self._invalidations,
+                "size": len(self._entries),
+            }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

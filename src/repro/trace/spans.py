@@ -221,7 +221,12 @@ def _format_attribute(value) -> str:
     if isinstance(value, dict):
         inner = ", ".join(f"{k}={_format_attribute(v)}" for k, v in value.items())
         return "{" + inner + "}"
-    return str(value)
+    text = str(value)
+    # Long free-text attributes (e.g. the sql backend's compiled
+    # statement) would swallow the tree; elide mid-line instead.
+    if len(text) > 200:
+        text = text[:160] + " ... " + text[-32:]
+    return text
 
 
 def _render_span(span: Span, prefix: str, last: bool) -> Iterator[str]:

@@ -1,4 +1,4 @@
-"""Property-based equivalence of the scheduling strategies.
+"""Property-based equivalence of the scheduling strategies and backends.
 
 The scheduler's contract is exact: for any query and any K, the
 ``shared-prefix`` and ``shared-prefix+pruning`` strategies return the
@@ -8,14 +8,23 @@ order, and pruning only skips CNs whose score is strictly above the
 k-th best collected score (ties always run), so the property holds with
 equality on the full (canonical_key, assignment, score) triples — not
 just on scores.
+
+The execution backends extend the same contract: the Python nested-loop
+executor is the oracle, and ``python-hash`` and ``sql`` (one compiled
+statement per plan, executed inside SQLite) must reproduce its ranked
+top-k bit for bit.  Both sides enumerate rows lexicographically in the
+plan's binding order — the Python executor via its canonical candidate
+sort, the SQL backend via ``ORDER BY`` under SQLite's BINARY collation —
+so even the k-subset a >k-result CN contributes is identical.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.core import ExecutorConfig, KeywordQuery, XKeyword
+from repro.core import BACKENDS, ExecutorConfig, KeywordQuery, XKeyword
 
 EQUIVALENCE_SETTINGS = settings(
     deadline=None,  # whole-pipeline searches vary too much for a deadline
@@ -46,29 +55,37 @@ def ranked(result):
     ]
 
 
-def assert_strategies_agree(db, keywords, k, max_size) -> None:
+def assert_strategies_agree(db, keywords, k, max_size, backend="python") -> None:
     query = KeywordQuery(tuple(keywords), max_size=max_size)
     engine = XKeyword(db)
     baseline = ranked(
         engine.search(
-            query, k=k, config=ExecutorConfig(strategy="serial"), parallel=False
+            query,
+            k=k,
+            config=ExecutorConfig(backend="python", strategy="serial"),
+            parallel=False,
         )
     )
     optimized = ranked(
         engine.search(
             query,
             k=k,
-            config=ExecutorConfig(strategy="shared-prefix+pruning"),
+            config=ExecutorConfig(
+                backend=backend, strategy="shared-prefix+pruning"
+            ),
             parallel=False,
         )
     )
     assert optimized == baseline
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestDBLPEquivalence:
     @EQUIVALENCE_SETTINGS
     @given(data=st.data(), k=st.integers(min_value=1, max_value=25))
-    def test_random_queries(self, small_dblp_graph, small_dblp_db, data, k):
+    def test_random_queries(
+        self, small_dblp_graph, small_dblp_db, backend, data, k
+    ):
         vocabulary = keyword_vocabulary(small_dblp_graph)
         keywords = data.draw(
             st.lists(
@@ -76,13 +93,18 @@ class TestDBLPEquivalence:
             )
         )
         max_size = data.draw(st.integers(min_value=2, max_value=6))
-        assert_strategies_agree(small_dblp_db, keywords, k, max_size)
+        assert_strategies_agree(
+            small_dblp_db, keywords, k, max_size, backend=backend
+        )
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestTPCHEquivalence:
     @EQUIVALENCE_SETTINGS
     @given(data=st.data(), k=st.integers(min_value=1, max_value=25))
-    def test_random_queries(self, small_tpch_graph, small_tpch_db, data, k):
+    def test_random_queries(
+        self, small_tpch_graph, small_tpch_db, backend, data, k
+    ):
         vocabulary = keyword_vocabulary(small_tpch_graph)
         keywords = data.draw(
             st.lists(
@@ -90,4 +112,6 @@ class TestTPCHEquivalence:
             )
         )
         max_size = data.draw(st.integers(min_value=2, max_value=6))
-        assert_strategies_agree(small_tpch_db, keywords, k, max_size)
+        assert_strategies_agree(
+            small_tpch_db, keywords, k, max_size, backend=backend
+        )

@@ -1,0 +1,148 @@
+"""The redesigned ExecutorConfig: backend enum, shims, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import BACKENDS, ExecutorConfig
+from repro.core.execution import (
+    BACKEND_ENV_VAR,
+    BACKEND_PYTHON,
+    BACKEND_PYTHON_HASH,
+    BACKEND_SQL,
+)
+
+
+class TestBackendSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert ExecutorConfig().backend == BACKEND_PYTHON
+
+    def test_explicit_backend(self):
+        for backend in BACKENDS:
+            assert ExecutorConfig(backend=backend).backend == backend
+
+    def test_env_var_supplies_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, BACKEND_SQL)
+        assert ExecutorConfig().backend == BACKEND_SQL
+
+    def test_explicit_backend_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, BACKEND_SQL)
+        assert ExecutorConfig(backend=BACKEND_PYTHON).backend == BACKEND_PYTHON
+
+    def test_empty_env_means_python(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert ExecutorConfig().backend == BACKEND_PYTHON
+
+    def test_bad_env_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "duckdb")
+        with pytest.raises(ValueError, match="duckdb"):
+            ExecutorConfig()
+
+
+class TestDeprecatedKwargs:
+    def test_each_deprecated_kwarg_warns(self):
+        for kwargs in ({"use_cache": True}, {"hash_join": False},
+                       {"share_lookups": True}):
+            with pytest.warns(DeprecationWarning, match="deprecated"):
+                ExecutorConfig(**kwargs)
+
+    def test_hash_join_maps_to_python_hash_backend(self):
+        with pytest.warns(DeprecationWarning):
+            config = ExecutorConfig(hash_join=True)
+        assert config.backend == BACKEND_PYTHON_HASH
+        assert config.hash_join is True
+
+    def test_hash_join_false_maps_to_python_backend(self):
+        with pytest.warns(DeprecationWarning):
+            config = ExecutorConfig(hash_join=False)
+        assert config.backend == BACKEND_PYTHON
+        assert config.hash_join is False
+
+    def test_use_cache_and_share_lookups_preserved(self):
+        with pytest.warns(DeprecationWarning):
+            config = ExecutorConfig(use_cache=False, share_lookups=False)
+        assert config.use_cache is False
+        assert config.share_lookups is False
+        assert config.backend == BACKEND_PYTHON
+
+    def test_deprecated_kwargs_override_env_default(self, monkeypatch):
+        # Old call sites predate the env knob; honoring REPRO_BACKEND=sql
+        # for them would silently change what the kwargs always meant.
+        monkeypatch.setenv(BACKEND_ENV_VAR, BACKEND_SQL)
+        with pytest.warns(DeprecationWarning):
+            config = ExecutorConfig(hash_join=True)
+        assert config.backend == BACKEND_PYTHON_HASH
+
+    def test_conflict_with_explicit_backend_rejected(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="conflicts"):
+                ExecutorConfig(backend=BACKEND_SQL, hash_join=True)
+
+    def test_new_backend_enum_alone_does_not_warn(self, recwarn):
+        ExecutorConfig(backend=BACKEND_SQL)
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+
+class TestTuningKnobs:
+    def test_memoize_and_shared_lookup_cache_do_not_warn(self, recwarn):
+        config = ExecutorConfig(memoize=False, shared_lookup_cache=False)
+        assert config.use_cache is False
+        assert config.share_lookups is False
+        assert not [
+            w for w in recwarn if issubclass(w.category, DeprecationWarning)
+        ]
+
+    def test_defaults_are_on(self):
+        config = ExecutorConfig()
+        assert config.use_cache is True
+        assert config.share_lookups is True
+
+    def test_new_spelling_conflicts_with_deprecated(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="use_cache"):
+                ExecutorConfig(memoize=True, use_cache=True)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(ValueError, match="share_lookups"):
+                ExecutorConfig(shared_lookup_cache=True, share_lookups=True)
+
+
+class TestValidationReportsEverything:
+    def test_all_invalid_fields_reported_at_once(self):
+        with pytest.raises(ValueError) as excinfo:
+            ExecutorConfig(
+                backend="duckdb", strategy="psychic", cache_capacity=0
+            )
+        message = str(excinfo.value)
+        assert "duckdb" in message
+        assert "psychic" in message
+        assert "cache_capacity" in message
+
+    def test_invalid_strategy_alone(self):
+        with pytest.raises(ValueError, match="strategy"):
+            ExecutorConfig(strategy="nope")
+
+    def test_invalid_cache_capacity_alone(self):
+        with pytest.raises(ValueError, match="cache_capacity"):
+            ExecutorConfig(cache_capacity=-5)
+        with pytest.raises(ValueError, match="cache_capacity"):
+            ExecutorConfig(cache_capacity="lots")
+
+
+class TestDerivedProperties:
+    def test_strategy_properties(self):
+        serial = ExecutorConfig(strategy="serial")
+        assert serial.share_prefixes is False
+        assert serial.prune_by_bound is False
+        pruned = ExecutorConfig(strategy="shared-prefix+pruning")
+        assert pruned.share_prefixes is True
+        assert pruned.prune_by_bound is True
+
+    def test_repr_and_eq(self):
+        a = ExecutorConfig(backend=BACKEND_SQL)
+        b = ExecutorConfig(backend=BACKEND_SQL)
+        assert a == b
+        assert a != ExecutorConfig(backend=BACKEND_PYTHON)
+        assert BACKEND_SQL in repr(a)

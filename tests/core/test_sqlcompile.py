@@ -1,0 +1,259 @@
+"""The plan→SQL compiler and the DBMS-side executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecutorConfig, KeywordQuery, XKeyword
+from repro.core.execution import CTSSNExecutor
+from repro.core.sqlcompile import (
+    SQLCTSSNExecutor,
+    binding_order,
+    compile_plan,
+    render_sql,
+)
+from repro.storage import CompiledStatementCache, VersionVector
+
+
+def planned(db, *keywords, max_size=8):
+    """Engine, containing lists and the planned CTSSNs for a query."""
+    engine = XKeyword(db)
+    query = KeywordQuery(tuple(keywords), max_size=max_size)
+    containing = engine.containing_lists(query)
+    ctssns = engine.candidate_tss_networks(query, containing)
+    plans = [engine.plan(ctssn, containing) for ctssn in ctssns]
+    return engine, containing, plans
+
+
+def filters_for(plan, containing):
+    return {
+        role: containing.allowed_tos(constraints)
+        for role, constraints in plan.ctssn.keyword_roles()
+    }
+
+
+class TestCompilation:
+    def test_single_select_shape(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = next(p for p in plans if len(p.steps) >= 2)
+        compiled = compile_plan(
+            plan, engine.stores, filters_for(plan, containing)
+        )
+        assert compiled.sql.startswith("SELECT DISTINCT")
+        assert compiled.sql.count("JOIN") == len(plan.steps) - 1
+        assert "ORDER BY" in compiled.sql
+        assert "LIMIT" not in compiled.sql
+        assert not compiled.empty
+        # IN-list parameters are the sorted admission values.
+        assert list(compiled.params) == sorted(compiled.params, key=str) or (
+            len(compiled.params) > 0
+        )
+
+    def test_limit_pushdown(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = plans[0]
+        compiled = compile_plan(
+            plan, engine.stores, filters_for(plan, containing), with_limit=True
+        )
+        assert compiled.sql.rstrip().endswith("LIMIT ?")
+        assert compiled.with_limit
+
+    def test_select_list_follows_binding_order(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        for plan in plans:
+            if not plan.steps:
+                continue
+            compiled = compile_plan(
+                plan, engine.stores, filters_for(plan, containing)
+            )
+            assert compiled.roles == binding_order(plan)
+            assert compiled.roles[0] == plan.anchor_role
+
+    def test_empty_admission_set_compiles_to_sentinel(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = plans[0]
+        role_filters = dict(filters_for(plan, containing))
+        role_filters[next(iter(role_filters))] = set()
+        compiled = compile_plan(plan, engine.stores, role_filters)
+        assert compiled.empty
+        assert compiled.sql == ""
+
+    def test_injectivity_clique_present(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = max(plans, key=lambda p: len(binding_order(p)))
+        roles = binding_order(plan)
+        compiled = compile_plan(
+            plan, engine.stores, filters_for(plan, containing)
+        )
+        expected_pairs = len(roles) * (len(roles) - 1) // 2
+        assert compiled.sql.count("<>") == expected_pairs
+
+    def test_render_sql_matches_describe(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = plans[0]
+        role_filters = filters_for(plan, containing)
+        rendered = render_sql(plan, engine.stores, role_filters)
+        described = plan.describe(engine.stores, role_filters)
+        assert "compiled sql:" in described
+        for line in rendered.splitlines():
+            assert line.strip() in described
+
+
+class TestBindingOrder:
+    def test_anchor_first_then_step_order(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        for plan in plans:
+            order = binding_order(plan)
+            assert order[0] == plan.anchor_role
+            assert sorted(order) == sorted(set(order))
+            bound = {plan.anchor_role}
+            for step in plan.steps:
+                bound.update(step.new_roles)
+            assert set(order) == bound
+
+
+class TestSQLExecutor:
+    def test_rows_match_python_executor(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        for plan in plans:
+            python_rows = list(
+                CTSSNExecutor(plan, engine.stores, containing).run()
+            )
+            sql_rows = list(
+                SQLCTSSNExecutor(plan, engine.stores, containing).run()
+            )
+            assert sql_rows == python_rows
+
+    def test_limit_matches_python_subset(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        for plan in plans:
+            for limit in (1, 2, 5):
+                python_rows = list(
+                    CTSSNExecutor(plan, engine.stores, containing).run(
+                        limit=limit
+                    )
+                )
+                sql_rows = list(
+                    SQLCTSSNExecutor(plan, engine.stores, containing).run(
+                        limit=limit
+                    )
+                )
+                assert sql_rows == python_rows
+
+    def test_fixed_bindings_fall_back_to_python_path(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan, reference = next(
+            (p, rows)
+            for p in plans
+            if p.steps
+            for rows in [list(CTSSNExecutor(p, engine.stores, containing).run())]
+            if rows
+        )
+        pinned_role, pinned_to = next(iter(reference[0].items()))
+        fixed = {pinned_role: pinned_to}
+        python_rows = list(
+            CTSSNExecutor(plan, engine.stores, containing).run(
+                fixed_bindings=fixed
+            )
+        )
+        executor = SQLCTSSNExecutor(plan, engine.stores, containing)
+        sql_rows = list(executor.run(fixed_bindings=fixed))
+        assert sql_rows == python_rows
+        # The fallback runs nested loops, not one compiled statement.
+        assert executor.metrics.queries_sent != 1
+
+    def test_metrics_counted(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = next(p for p in plans if p.steps)
+        executor = SQLCTSSNExecutor(plan, engine.stores, containing)
+        rows = list(executor.run())
+        assert executor.metrics.queries_sent == 1
+        assert executor.metrics.results == len(rows)
+
+
+class TestStatementCache:
+    def test_second_execution_hits(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = next(p for p in plans if p.steps)
+        cache = CompiledStatementCache()
+        for _ in range(2):
+            list(
+                SQLCTSSNExecutor(
+                    plan, engine.stores, containing, statement_cache=cache
+                ).run()
+            )
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+
+    def test_version_bump_invalidates(self, figure1_db):
+        engine, containing, plans = planned(figure1_db, "john", "vcr")
+        plan = next(p for p in plans if p.steps)
+        versions = VersionVector()
+        cache = CompiledStatementCache(versions=versions)
+        run = lambda: list(
+            SQLCTSSNExecutor(
+                plan, engine.stores, containing, statement_cache=cache
+            ).run()
+        )
+        run()
+        versions.bump(relations=plan.relations_used())
+        run()
+        stats = cache.stats()
+        assert stats["invalidations"] == 1
+        assert stats["misses"] == 2
+
+    def test_lru_eviction_and_clear(self):
+        cache = CompiledStatementCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.get("a") is None
+        assert cache.get("c") == 3
+        cache.clear()
+        assert len(cache) == 0
+        with pytest.raises(ValueError):
+            CompiledStatementCache(capacity=0)
+
+
+class TestEngineIntegration:
+    def test_search_results_identical_across_backends(self, figure1_db):
+        engine = XKeyword(figure1_db)
+        query = KeywordQuery.of("john", "vcr", max_size=8)
+
+        def ranked(result):
+            return [
+                (m.score, m.ctssn.canonical_key, m.assignment)
+                for m in result.mttons
+            ]
+
+        oracle = engine.search(
+            query, k=10, config=ExecutorConfig(backend="python"), parallel=False
+        )
+        compiled = engine.search(
+            query, k=10, config=ExecutorConfig(backend="sql"), parallel=False
+        )
+        assert ranked(compiled) == ranked(oracle)
+        assert compiled.metrics.queries_sent < oracle.metrics.queries_sent
+
+    def test_trace_spans_carry_backend_and_sql(self, figure1_db):
+        from repro.trace import Tracer
+
+        engine = XKeyword(figure1_db, tracer=Tracer())
+        result = engine.search(
+            KeywordQuery.of("john", "vcr", max_size=8),
+            k=5,
+            config=ExecutorConfig(backend="sql"),
+            parallel=False,
+        )
+        assert result.trace is not None
+        backends = set()
+        saw_sql = False
+        for cn_span in result.trace.root.children:
+            for child in cn_span.children:
+                if child.name == "execute":
+                    backends.add(child.attributes.get("backend"))
+                    if "sql" in child.attributes:
+                        saw_sql = True
+        assert backends == {"sql"}
+        assert saw_sql
