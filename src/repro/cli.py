@@ -6,6 +6,8 @@ Usage::
     python -m repro generate --catalog tpch --figure1 --out fig1.xml
     python -m repro search --catalog dblp --xml dblp.xml "smith chen" -k 10
     python -m repro search --catalog tpch --xml fig1.xml "john vcr" --explain
+    python -m repro search --catalog dblp --demo "smith chen" --shards 4
+    python -m repro search --catalog dblp --demo "smith chen" --shards 4 --shard-mode process
     python -m repro explain --catalog dblp --demo "smith chen"
     python -m repro serve --catalog dblp --demo --port 8080
     python -m repro update insert --server http://127.0.0.1:8080 --xml new.xml --parent c0y1
@@ -105,6 +107,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "honors $REPRO_BACKEND, else python)",
         )
         sub.add_argument(
+            "--shards",
+            type=int,
+            default=None,
+            help="scatter execution across N shards of the target-object "
+            "space (ranked results are identical to the unsharded run; "
+            "default honors $REPRO_SHARDS, else unsharded)",
+        )
+        sub.add_argument(
             "--debug-verify",
             action="store_true",
             dest="debug_verify",
@@ -117,6 +127,16 @@ def _build_parser() -> argparse.ArgumentParser:
                 help="print the recorded span tree (stages, plans, "
                 "estimated vs. actual cardinality, per-relation lookups) "
                 "after the results",
+            )
+            sub.add_argument(
+                "--shard-mode",
+                choices=("thread", "process"),
+                default="thread",
+                dest="shard_mode",
+                help="with --shards N>1: scatter on threads over one "
+                "database, or physically partition into per-shard SQLite "
+                "files and run one worker process per shard "
+                "(multiprocess scatter-gather; see repro.sharding)",
             )
         if name == "navigate":
             sub.add_argument(
@@ -196,6 +216,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "override via the /search 'backend' option; default honors "
         "$REPRO_BACKEND, else python)",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="scatter every served search across N logical shards "
+        "(identical results; /metrics exports repro_shard_* series and "
+        "/healthz the layout; default honors $REPRO_SHARDS)",
+    )
 
     update = commands.add_parser(
         "update",
@@ -247,7 +275,13 @@ def _make_engine(args: argparse.Namespace, loaded: LoadedDatabase) -> XKeyword:
         backend=getattr(args, "backend", None),
         strategy=getattr(args, "strategy", "shared-prefix+pruning"),
     )
-    return XKeyword(loaded, executor_config=config, verifier=verifier, tracer=tracer)
+    return XKeyword(
+        loaded,
+        executor_config=config,
+        verifier=verifier,
+        tracer=tracer,
+        shards=getattr(args, "shards", None),
+    )
 
 
 def _load(args: argparse.Namespace) -> tuple[Catalog, LoadedDatabase]:
@@ -313,15 +347,68 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _process_sharded_search(
+    args: argparse.Namespace,
+    catalog: Catalog,
+    loaded: LoadedDatabase,
+    query: KeywordQuery,
+):
+    """Run one search over a freshly scattered shard directory.
+
+    The multiprocess demo path of ``search --shards N --shard-mode
+    process``: partitions the loaded database into per-shard SQLite
+    files under a temporary directory, starts one worker process per
+    shard, and scatter-gathers the query through
+    :class:`repro.sharding.ShardedXKeyword`.
+    """
+    import tempfile
+
+    from .core import ExecutorConfig
+    from .sharding import (
+        ShardWorkerPool,
+        ShardedXKeyword,
+        create_shards,
+        open_sharded,
+    )
+
+    decompositions = [store.decomposition for store in loaded.stores.values()]
+    config = ExecutorConfig(
+        backend=getattr(args, "backend", None),
+        strategy=getattr(args, "strategy", "shared-prefix+pruning"),
+    )
+    tracer = None
+    if args.explain:
+        from .trace import Tracer
+
+        tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="repro_shards_") as directory:
+        create_shards(loaded, args.shards, directory)
+        pool = ShardWorkerPool(directory, catalog, decompositions, config=config)
+        try:
+            engine = ShardedXKeyword(
+                open_sharded(directory, catalog, decompositions),
+                pool,
+                tracer=tracer,
+            )
+            if args.all:
+                return engine.search_all(query)
+            return engine.search(query, k=args.k)
+        finally:
+            pool.close()
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     catalog, loaded = _load(args)
-    engine = _make_engine(args, loaded)
     query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
     started = time.perf_counter()
-    if args.all:
-        result = engine.search_all(query)
+    if args.shard_mode == "process" and (args.shards or 0) > 1:
+        result = _process_sharded_search(args, catalog, loaded, query)
     else:
-        result = engine.search(query, k=args.k)
+        engine = _make_engine(args, loaded)
+        if args.all:
+            result = engine.search_all(query)
+        else:
+            result = engine.search(query, k=args.k)
     elapsed = time.perf_counter() - started
     print(
         f"{len(result.mttons)} result(s) from "
@@ -329,6 +416,15 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"{elapsed * 1000:.1f} ms "
         f"({result.metrics.queries_sent} focused queries)"
     )
+    if result.metrics.shard_results:
+        per_shard = " ".join(
+            f"s{shard}={count}"
+            for shard, count in sorted(result.metrics.shard_results.items())
+        )
+        print(
+            f"scattered across {len(result.metrics.shard_results)} shards "
+            f"({args.shard_mode} mode): {per_shard}"
+        )
     for rank, mtton in enumerate(result.mttons, start=1):
         labels = mtton.ctssn.network.labels
         nodes = " + ".join(f"{labels[role]}:{to}" for role, to in mtton.assignment)
@@ -453,6 +549,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         slow_query_seconds=args.slow_query or None,
         strategy=args.strategy,
         backend=args.backend,
+        shards=args.shards,
     )
     print(
         f"loaded {catalog.name}: {loaded.to_graph.target_object_count} target "

@@ -14,6 +14,7 @@ from .execution import (
     BACKEND_PYTHON_HASH,
     BACKEND_SQL,
     BACKENDS,
+    SHARDS_ENV_VAR,
     STRATEGIES,
     CTSSNExecutor,
     ExecutionMetrics,
@@ -22,10 +23,13 @@ from .execution import (
     PrefixSpec,
     ResultCache,
     ResultRow,
+    ShardPartition,
     SharedPrefixTable,
     TopKBound,
     assign_shared_prefixes,
     prefix_spec,
+    resolve_shards,
+    shard_of,
 )
 from .expansion import OnDemandNavigator
 from .matching import ContainingLists
@@ -71,10 +75,12 @@ __all__ = [
     "ReductionError",
     "ResultCache",
     "ResultRow",
+    "SHARDS_ENV_VAR",
     "STRATEGIES",
     "SQLCTSSNExecutor",
     "SearchHooks",
     "SearchResult",
+    "ShardPartition",
     "SharedPrefixTable",
     "TopKBound",
     "WitnessConstraint",
@@ -88,5 +94,7 @@ __all__ = [
     "node_network",
     "reduce_to_ctssn",
     "render_sql",
+    "resolve_shards",
     "schema_edge_id",
+    "shard_of",
 ]

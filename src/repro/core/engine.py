@@ -31,9 +31,11 @@ from .execution import (
     ExecutorConfig,
     PrefixSpec,
     ResultCache,
+    ShardPartition,
     SharedPrefixTable,
     TopKBound,
     assign_shared_prefixes,
+    resolve_shards,
 )
 from .matching import ContainingLists
 from .optimizer import Optimizer
@@ -153,6 +155,7 @@ class XKeyword:
         verifier: NetworkVerifier | None = None,
         tracer=None,
         statement_cache: CompiledStatementCache | None = None,
+        shards: int | None = None,
     ) -> None:
         """
         Args:
@@ -174,12 +177,20 @@ class XKeyword:
                 ``sql`` backend; the service passes one guarded by its
                 mutation ``VersionVector``.  A private unguarded cache
                 is created when omitted.
+            shards: Scatter execution across this many logical shards of
+                the target-object id space (one thread per shard, anchor
+                seeds partitioned by :func:`~repro.core.execution.shard_of`;
+                ranked results stay byte-identical to the unsharded run).
+                ``None`` resolves from ``$REPRO_SHARDS``; 0/1 disable
+                scattering.  Process-per-shard execution lives in
+                :mod:`repro.sharding`.
         """
         self.loaded = loaded
         names = store_priority or list(loaded.stores)
         self.stores = {name: loaded.store(name) for name in names}
         self.executor_config = executor_config or ExecutorConfig()
         self.threads = max(1, threads)
+        self.shards = resolve_shards(shards)
         self.hooks = hooks or SearchHooks()
         self.verifier = verifier
         self.tracer = tracer or NULL_TRACER
@@ -290,9 +301,34 @@ class XKeyword:
         k: int = 10,
         config: ExecutorConfig | None = None,
         parallel: bool = True,
+        *,
+        partition: ShardPartition | None = None,
+        shared_bound=None,
     ) -> SearchResult:
-        """Top-k search: the web-search-engine-like presentation mode."""
-        return self._run(query, limit=k, config=config, parallel=parallel)
+        """Top-k search: the web-search-engine-like presentation mode.
+
+        Args:
+            query: Keywords (a :class:`KeywordQuery` or a plain string).
+            k: Ranked-result cutoff.
+            config: Per-call execution switches (defaults to the
+                engine's).
+            parallel: Evaluate candidate networks on a thread pool.
+            partition: Evaluate only one shard's slice of the anchor
+                space (a worker's sub-run in scatter-gather mode); the
+                engine's own ``shards`` scattering is bypassed.
+            shared_bound: External top-k bound replacing the local
+                :class:`~repro.core.execution.TopKBound` — scatter-gather
+                coordinators propagate the global k-th best through it so
+                cross-shard pruning stays exact.
+        """
+        return self._run(
+            query,
+            limit=k,
+            config=config,
+            parallel=parallel,
+            partition=partition,
+            shared_bound=shared_bound,
+        )
 
     def search_all(
         self,
@@ -363,6 +399,8 @@ class XKeyword:
         limit: int | None,
         config: ExecutorConfig | None,
         parallel: bool,
+        partition: ShardPartition | None = None,
+        shared_bound=None,
     ) -> SearchResult:
         query = self._coerce(query)
         config = config or self.executor_config
@@ -460,6 +498,24 @@ class XKeyword:
             name for _, plan, _ in planned for name in plan.relations_used()
         )
 
+        if partition is None and self.shards > 1:
+            # Scatter-gather: one thread per logical shard, anchor seeds
+            # partitioned by target-object hash, the global bound shared
+            # so cross-shard pruning stays exact.  The gathered multiset
+            # equals the unsharded run's, so the final sort+truncate
+            # below yields a byte-identical ranked top-k.
+            collected = self._scatter_execute(
+                query, planned, containing, config, limit, trace, metrics,
+                lookup_cache,
+            )
+            collected.sort(
+                key=lambda m: (m.score, m.ctssn.canonical_key, m.assignment)
+            )
+            if limit is not None:
+                collected = collected[:limit]
+            result.mttons = collected
+            return self._finish(query, result, started, trace)
+
         prefixes: dict[int, PrefixSpec] = {}
         prefix_table: SharedPrefixTable | None = None
         if config.share_prefixes:
@@ -470,11 +526,10 @@ class XKeyword:
                     for index, spec in prefixes.items():
                         self.verifier.check_shared_prefix(planned[index][1], spec)
 
-        bound = (
-            TopKBound(limit)
-            if config.prune_by_bound and limit is not None
-            else None
-        )
+        if config.prune_by_bound and limit is not None:
+            bound = shared_bound if shared_bound is not None else TopKBound(limit)
+        else:
+            bound = None
         collected: list[MTTON] = []
         lock = threading.Lock()
 
@@ -501,6 +556,7 @@ class XKeyword:
                 span=execute_span if trace.enabled else None,
                 prefix=prefixes.get(index),
                 prefix_table=prefix_table,
+                partition=partition,
             )
             produced = 0
             abandoned = False
@@ -549,6 +605,128 @@ class XKeyword:
             collected = collected[:limit]
         result.mttons = collected
         return self._finish(query, result, started, trace)
+
+    def _scatter_execute(
+        self,
+        query: KeywordQuery,
+        planned: list[tuple[CTSSN, ExecutionPlan, Span]],
+        containing: ContainingLists,
+        config: ExecutorConfig,
+        limit: int | None,
+        trace,
+        metrics: ExecutionMetrics,
+        lookup_cache: ResultCache,
+    ) -> list[MTTON]:
+        """Evaluate every planned CN once per shard, gathering results.
+
+        ``query`` is unused on the in-process path but part of the seam:
+        :class:`repro.sharding.engine.ShardedXKeyword` overrides this
+        method to ship the query to per-shard worker processes.
+
+        Each shard gets a :class:`~repro.core.execution.ShardPartition`
+        restricting anchor seeds to the target objects it owns, its own
+        ``shard`` trace span (with per-CN ``execute`` children), and its
+        own :class:`~repro.core.execution.SharedPrefixTable` — prefix
+        rows embed the partitioned anchor, so they must not cross
+        shards.  The relation-lookup cache *is* shared: raw probes are
+        partition-independent.  One
+        :class:`~repro.core.execution.TopKBound` spans all shards, so a
+        result collected on any shard prunes candidate networks
+        everywhere.  Per-shard pruning decisions are per-shard work
+        units: ``cns_pruned`` counts each (CN, shard) skip.
+        """
+        shard_count = self.shards
+        for _, _, cn_span in planned:
+            cn_span.annotate(scattered_across=shard_count)
+            cn_span.finish()
+        prefixes: dict[int, PrefixSpec] = {}
+        if config.share_prefixes:
+            prefixes = assign_shared_prefixes([plan for _, plan, _ in planned])
+            if prefixes and self.verifier is not None:
+                for index, spec in prefixes.items():
+                    self.verifier.check_shared_prefix(planned[index][1], spec)
+        bound = (
+            TopKBound(limit)
+            if config.prune_by_bound and limit is not None
+            else None
+        )
+        collected: list[MTTON] = []
+        lock = threading.Lock()
+
+        def run_shard(shard_index: int) -> ExecutionMetrics:
+            partition = ShardPartition(shard_index, shard_count)
+            local_metrics = ExecutionMetrics()
+            prefix_table = SharedPrefixTable() if prefixes else None
+            shard_span = trace.span(
+                "shard", shard=shard_index, shards=shard_count
+            )
+            shard_results = 0
+            shard_started = time.perf_counter()
+            try:
+                for index, (ctssn, plan, _) in enumerate(planned):
+                    lower = self.optimizer.score_lower_bound(ctssn)
+                    if bound is not None and not bound.admits(lower):
+                        local_metrics.cns_pruned += 1
+                        continue
+                    execute_span = shard_span.child("execute")
+                    execute_span.annotate(
+                        network=ctssn.canonical_key, backend=config.backend
+                    )
+                    executor = self._make_executor(
+                        plan,
+                        containing,
+                        config,
+                        metrics=local_metrics,
+                        lookup_cache=lookup_cache,
+                        observer=self.hooks.observer,
+                        span=execute_span if trace.enabled else None,
+                        prefix=prefixes.get(index),
+                        prefix_table=prefix_table,
+                        partition=partition,
+                    )
+                    produced = 0
+                    abandoned = False
+                    stage_started = time.perf_counter()
+                    try:
+                        for row in executor.run(limit=limit):
+                            mtton = materialize(
+                                ctssn, row, self.loaded.to_graph
+                            )
+                            produced += 1
+                            with lock:
+                                collected.append(mtton)
+                            if bound is not None:
+                                bound.add(mtton.score)
+                                if not bound.admits(lower):
+                                    abandoned = True
+                                    break
+                    finally:
+                        local_metrics.record_stage(
+                            "execution", time.perf_counter() - stage_started
+                        )
+                        execute_span.annotate(results=produced)
+                        if abandoned:
+                            execute_span.annotate(pruned="abandoned")
+                        execute_span.finish()
+                        shard_results += produced
+            finally:
+                local_metrics.record_shard(
+                    shard_index,
+                    shard_results,
+                    time.perf_counter() - shard_started,
+                )
+                shard_span.annotate(
+                    results=shard_results,
+                    queries_sent=local_metrics.queries_sent,
+                    cns_pruned=local_metrics.cns_pruned,
+                )
+                shard_span.finish()
+            return local_metrics
+
+        with ThreadPoolExecutor(max_workers=shard_count) as pool:
+            for local in pool.map(run_shard, range(shard_count)):
+                metrics.merge(local)
+        return collected
 
     def _finish(
         self,

@@ -29,6 +29,7 @@ import heapq
 import os
 import threading
 import warnings
+import zlib
 from collections import Counter, OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Sequence
@@ -73,6 +74,76 @@ BACKEND_ENV_VAR = "REPRO_BACKEND"
 """Environment variable supplying the default backend (CI runs the
 tier-1 suite once per backend by exporting it)."""
 
+SHARDS_ENV_VAR = "REPRO_SHARDS"
+"""Environment variable supplying the default shard count (CI runs the
+tier-1 suite once with ``REPRO_SHARDS=4`` so every engine scatters)."""
+
+
+def shard_of(to_id: str, shards: int) -> int:
+    """The shard owning a target object: ``crc32(to_id) % shards``.
+
+    CRC32 rather than :func:`hash` because Python string hashing is
+    salted per process — worker processes and the coordinator must agree
+    on ownership, and the persisted partition book must stay valid
+    across restarts.
+    """
+    return zlib.crc32(to_id.encode("utf-8")) % shards
+
+
+@dataclass(frozen=True)
+class ShardPartition:
+    """One shard's slice of the target-object id space.
+
+    A partition restricts an executor's *anchor* seeds to the target
+    objects this shard owns (``crc32(to_id) % count == index``).  The
+    anchor seeds a plan's outermost loop, so restricting them partitions
+    the plan's result multiset exactly: the disjoint union over all
+    ``count`` partitions equals the unpartitioned run, row for row, and
+    the canonical enumeration order within each shard is a subsequence
+    of the global order (which keeps per-shard top-k truncation exact).
+
+    Plans whose anchor carries no keyword filter cannot be seed-split;
+    those run on shard 0 only (see ``CTSSNExecutor``).
+    """
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("a partition needs at least one shard")
+        if not 0 <= self.index < self.count:
+            raise ValueError(
+                f"shard index {self.index} outside [0, {self.count})"
+            )
+
+    def owns(self, to_id: str) -> bool:
+        """Whether this shard owns the given target object."""
+        return shard_of(to_id, self.count) == self.index
+
+    @property
+    def cache_key(self) -> tuple[int, int]:
+        """Identity for caches whose payload depends on the partition
+        (the compiled-SQL statement cache bakes the anchor's admitted
+        values into the statement parameters, so equal-size but
+        different per-shard subsets must not collide)."""
+        return (self.index, self.count)
+
+
+def resolve_shards(shards: int | None) -> int:
+    """Normalize a shard count, resolving ``None`` from ``$REPRO_SHARDS``.
+
+    Returns at least 1; invalid or missing environment values mean
+    unsharded rather than a crash at engine construction.
+    """
+    if shards is None:
+        raw = os.environ.get(SHARDS_ENV_VAR, "")
+        try:
+            shards = int(raw) if raw else 1
+        except ValueError:
+            shards = 1
+    return max(1, shards)
+
 
 @dataclass
 class ExecutionMetrics:
@@ -94,10 +165,20 @@ class ExecutionMetrics:
     ``cn_generation``, ``ctssn_reduction``, ``planning``, ``execution``).
     Always recorded — independent of tracing — and merged additively, so
     the service can export per-stage latency histograms."""
+    shard_results: dict[int, int] = field(default_factory=dict)
+    """Results each shard produced when the search scattered (empty for
+    unsharded runs); the service exports these as ``repro_shard_*``."""
+    shard_seconds: dict[int, float] = field(default_factory=dict)
+    """Wall-clock execution seconds per shard when the search scattered."""
 
     def record_stage(self, stage: str, seconds: float) -> None:
         """Accumulate wall-clock time against one pipeline stage."""
         self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def record_shard(self, shard: int, results: int, seconds: float) -> None:
+        """Accumulate one shard's scatter-gather contribution."""
+        self.shard_results[shard] = self.shard_results.get(shard, 0) + results
+        self.shard_seconds[shard] = self.shard_seconds.get(shard, 0.0) + seconds
 
     def merge(self, other: "ExecutionMetrics") -> None:
         """Fold another metrics object into this one (all fields add)."""
@@ -111,6 +192,8 @@ class ExecutionMetrics:
         self.cns_pruned += other.cns_pruned
         for stage, seconds in other.stage_seconds.items():
             self.record_stage(stage, seconds)
+        for shard, results in other.shard_results.items():
+            self.record_shard(shard, results, other.shard_seconds.get(shard, 0.0))
 
 
 class ResultCache:
@@ -697,6 +780,7 @@ class CTSSNExecutor:
         span: Span | None = None,
         prefix: PrefixSpec | None = None,
         prefix_table: SharedPrefixTable | None = None,
+        partition: ShardPartition | None = None,
     ) -> None:
         """
         Args:
@@ -716,6 +800,11 @@ class CTSSNExecutor:
             prefix_table: The per-query table the shared prefix is
                 materialized into / borrowed from; both ``prefix`` and
                 ``prefix_table`` must be set for sharing to engage.
+            partition: Restrict anchor seeds to one shard's target
+                objects (scatter-gather mode); ``None`` evaluates the
+                full plan.  Plans whose anchor has no keyword filter are
+                evaluated by shard 0 only — any single owner keeps the
+                cross-shard union exact, and 0 is the conventional one.
         """
         self.plan = plan
         self.config = config or ExecutorConfig()
@@ -726,6 +815,7 @@ class CTSSNExecutor:
         self._prefix = prefix
         self._prefix_table = prefix_table
         self._span = span
+        self.partition = partition
         # The suffix cache may be shared across executors; namespace the
         # keys by this plan's identity.
         self._cache_ns = plan.ctssn.canonical_key
@@ -750,6 +840,19 @@ class CTSSNExecutor:
             role: containing.allowed_tos(constraints)
             for role, constraints in plan.ctssn.keyword_roles()
         }
+        if partition is not None:
+            anchor = plan.anchor_role
+            if anchor in self.role_filters:
+                self.role_filters[anchor] = {
+                    to_id
+                    for to_id in self.role_filters[anchor]
+                    if partition.owns(to_id)
+                }
+            elif partition.index != 0:
+                # An unfiltered anchor cannot be seed-split; shard 0
+                # evaluates the whole plan and every other shard yields
+                # nothing (an empty admission set produces no seeds).
+                self.role_filters[anchor] = set()
         self._step_roles = [set(step.roles()) for step in plan.steps]
 
     # ------------------------------------------------------------------

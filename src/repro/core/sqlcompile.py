@@ -432,7 +432,9 @@ class SQLCTSSNExecutor(CTSSNExecutor):
         # IN parameter lists, and (prefix rows being inlined literals)
         # the prefix row values themselves — all captured in the key, so
         # a hit can never replay a stale statement even without the
-        # version guard.
+        # version guard.  The shard partition is part of the key because
+        # the parameter *values* are the anchor's admitted ids: two
+        # shards' subsets can have equal lengths but different members.
         key = (
             plan.ctssn.canonical_key,
             plan.anchor_role,
@@ -443,6 +445,7 @@ class SQLCTSSNExecutor(CTSSNExecutor):
             ),
             (spec.key, tuple(prefix_rows or ())) if spec is not None else None,
             with_limit,
+            self.partition.cache_key if self.partition is not None else None,
         )
         compiled = cache.get(key)
         if compiled is None:

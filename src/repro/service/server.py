@@ -125,6 +125,14 @@ class ServiceConfig:
     nested-loop executor.  Requests may override per query via the
     ``/search`` body's ``backend`` option."""
 
+    shards: int | None = None
+    """Scatter every search across this many logical shards of the
+    target-object space (see ``XKeyword(shards=...)``); ``None`` honors
+    the ``REPRO_SHARDS`` environment variable, 0/1 serve unsharded.
+    Ranked results are byte-identical either way; ``/metrics`` exports
+    per-shard ``repro_shard_*`` series and ``/healthz`` reports the
+    shard layout."""
+
 
 class _EngineInstrumentation(ExecutionObserver):
     """Feeds engine hook events into the metrics registry."""
@@ -166,6 +174,16 @@ class _EngineInstrumentation(ExecutionObserver):
             "repro_cns_pruned_total",
             "Candidate networks skipped by the global top-k bound",
         )
+        self._shard_results = lambda shard: registry.counter(
+            "repro_shard_results_total",
+            "Results produced per shard by scattered searches",
+            shard=str(shard),
+        )
+        self._shard_seconds = lambda shard: registry.histogram(
+            "repro_shard_seconds",
+            "Per-shard execution wall-clock of scattered searches",
+            shard=str(shard),
+        )
 
     # SearchHooks callbacks ------------------------------------------------
     def search_complete(self, query, result: SearchResult, seconds: float) -> None:
@@ -179,6 +197,11 @@ class _EngineInstrumentation(ExecutionObserver):
             self._cns_pruned.inc(result.metrics.cns_pruned)
         for stage, stage_seconds in result.metrics.stage_seconds.items():
             self._stage_seconds(stage).observe(stage_seconds)
+        for shard, shard_results in result.metrics.shard_results.items():
+            self._shard_results(shard).inc(shard_results)
+            self._shard_seconds(shard).observe(
+                result.metrics.shard_seconds.get(shard, 0.0)
+            )
 
     # ExecutionObserver ----------------------------------------------------
     def on_query(self, relation_name: str, rows: int, cached: bool) -> None:
@@ -248,6 +271,7 @@ class QueryService:
                 verifier=DebugVerifier() if self.config.debug_verify else None,
                 tracer=self.tracer,
                 statement_cache=CompiledStatementCache(versions=self.versions),
+                shards=self.config.shards,
             )
         )
         self.versions = VersionVector()
@@ -678,7 +702,39 @@ class QueryService:
             "index_epoch": snapshot.epoch if snapshot else state.loaded.epoch,
             "document_count": snapshot.document_count if snapshot else None,
             "last_mutation_at": snapshot.last_mutation_at if snapshot else None,
+            "shards": self._shard_health(state),
         }
+
+    @staticmethod
+    def _shard_health(state: _EngineState) -> dict:
+        """The ``/healthz`` shard section for the current generation.
+
+        Reports the engine's scatter width always; when the storage is a
+        sharded directory (``repro.sharding.ShardedDatabase``, detected
+        by its partition book) also the persisted partition layout and
+        per-shard write counts, so imbalance is visible from a probe.
+        """
+        shard_count = getattr(state.engine, "shards", 1)
+        payload: dict = {
+            "count": shard_count,
+            "scattered": shard_count > 1,
+        }
+        database = state.loaded.database
+        book = getattr(database, "book", None)
+        if book is not None:
+            payload["partition"] = {
+                "policy": book.policy,
+                "num_shards": book.num_shards,
+                "objects_per_shard": {
+                    str(index): count
+                    for index, count in sorted(book.counts.items())
+                },
+            }
+            payload["writes_per_shard"] = {
+                str(index): count
+                for index, count in sorted(database.write_counts().items())
+            }
+        return payload
 
     def metrics_text(self) -> str:
         """Render the registry, refreshing scrape-time gauges first."""

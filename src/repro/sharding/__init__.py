@@ -1,0 +1,34 @@
+"""Sharded storage and scatter-gather execution (ROADMAP item 2).
+
+Partitions the storage layer — master index, connection relations,
+target-object metadata and BLOBs — across N SQLite shard files by hash
+of target-object id, with a persisted :class:`PartitionBook` mapping
+object → shard (modeled on DGL's ``GraphPartitionBook``).  Queries run
+against a :class:`ShardedDatabase` gather view (every shard ``ATTACH``\\ ed
+under one connection, each logical table a ``UNION ALL`` view), and the
+engine scatters execution across shards either on threads
+(``XKeyword(shards=N)``) or in worker processes
+(:class:`ShardedXKeyword` over a :class:`ShardWorkerPool`), merging
+ranked streams through the global top-k bound so cross-shard pruning
+stays exact and the final top-k is byte-identical to the single-shard
+oracle.
+
+Layering: this package sits above ``core`` and ``storage`` and below
+``service`` (see ``docs/ARCHITECTURE.md`` §9).
+"""
+
+from .database import ShardedDatabase
+from .engine import ShardedXKeyword, open_sharded
+from .partition import PartitionBook
+from .shardset import ShardSet, create_shards
+from .worker import ShardWorkerPool
+
+__all__ = [
+    "PartitionBook",
+    "ShardSet",
+    "ShardWorkerPool",
+    "ShardedDatabase",
+    "ShardedXKeyword",
+    "create_shards",
+    "open_sharded",
+]

@@ -1,0 +1,117 @@
+"""The partition book: the persisted object → shard mapping.
+
+Modeled on DGL's ``GraphPartitionBook``: a small, durable description of
+how the target-object id space is split across shards, saved next to the
+shard files so any process — coordinator, worker, or a later restart —
+resolves ownership identically.  The mapping itself is the hash policy
+(``crc32(to_id) % num_shards``), so the book stores the policy and
+per-shard statistics rather than an explicit id table; :meth:`shard_of`
+is O(1) and the book stays a few hundred bytes at any corpus size.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from ..core.execution import ShardPartition, shard_of
+
+BOOK_FILENAME = "partition_book.json"
+"""File name of the persisted partition book inside a shard directory."""
+
+_POLICY = "crc32"
+"""The only supported hash policy; recorded so a future policy change
+cannot silently misroute objects against old shard directories."""
+
+
+@dataclass
+class PartitionBook:
+    """Maps target objects to shards and persists that mapping.
+
+    Attributes:
+        num_shards: Number of shards the id space is split across.
+        counts: Target objects per shard at creation/last-refresh time
+            (balance diagnostics for ``/healthz`` and the CLI).
+        policy: Hash policy identifier (currently always ``crc32``).
+    """
+
+    num_shards: int
+    counts: dict[int, int] = field(default_factory=dict)
+    policy: str = _POLICY
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ValueError("a partition book needs at least one shard")
+        if self.policy != _POLICY:
+            raise ValueError(
+                f"unsupported partition policy {self.policy!r}; "
+                f"this build understands only {_POLICY!r}"
+            )
+        stray = [index for index in self.counts if not 0 <= index < self.num_shards]
+        if stray:
+            raise ValueError(
+                f"partition book counts name shards {stray} outside "
+                f"0..{self.num_shards - 1}"
+            )
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_target_objects(
+        cls, to_ids: Iterable[str], num_shards: int
+    ) -> "PartitionBook":
+        """Build a book for ``num_shards``, counting each shard's objects."""
+        counts = {index: 0 for index in range(num_shards)}
+        book = cls(num_shards=num_shards, counts=counts)
+        for to_id in to_ids:
+            counts[book.shard_of(to_id)] += 1
+        return book
+
+    def shard_of(self, to_id: str) -> int:
+        """The shard owning ``to_id`` under this book's policy."""
+        return shard_of(to_id, self.num_shards)
+
+    def partition(self, index: int) -> ShardPartition:
+        """The :class:`~repro.core.execution.ShardPartition` of one shard."""
+        return ShardPartition(index, self.num_shards)
+
+    def partitions(self) -> list[ShardPartition]:
+        """Every shard's partition, in shard order."""
+        return [self.partition(index) for index in range(self.num_shards)]
+
+    # ------------------------------------------------------------------
+    def save(self, directory: str | Path) -> Path:
+        """Persist the book as ``partition_book.json`` in ``directory``."""
+        path = Path(directory) / BOOK_FILENAME
+        payload = {
+            "version": 1,
+            "policy": self.policy,
+            "num_shards": self.num_shards,
+            "counts": {str(index): count for index, count in self.counts.items()},
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "PartitionBook":
+        """Load the book persisted in ``directory``.
+
+        Raises:
+            FileNotFoundError: No book was ever saved there.
+            ValueError: The book is from an incompatible version/policy.
+        """
+        path = Path(directory) / BOOK_FILENAME
+        payload = json.loads(path.read_text())
+        if payload.get("version") != 1:
+            raise ValueError(
+                f"unsupported partition book version {payload.get('version')!r}"
+            )
+        return cls(
+            num_shards=int(payload["num_shards"]),
+            counts={
+                int(index): int(count)
+                for index, count in payload.get("counts", {}).items()
+            },
+            policy=payload.get("policy", _POLICY),
+        )

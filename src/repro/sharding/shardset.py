@@ -1,0 +1,178 @@
+"""Creating and opening shard directories.
+
+A *shard set* is a directory of ``shard_<i>.db`` SQLite files plus the
+persisted :class:`~repro.sharding.partition.PartitionBook`.  Every shard
+carries the **full schema** (tables and indexes replayed from the source
+database) and the **subset of rows it owns**: each row is routed by the
+partition hash of its scatter column.
+
+Scatter-column policy (must match ``ShardedDatabase``'s write routing):
+
+* a column named ``to_id`` — the master index, target-object metadata,
+  member metadata and BLOB tables all key rows by the owning target
+  object;
+* else a column named ``source_to`` — ``meta_to_edges`` rows live with
+  the edge's source object;
+* ``meta_index_state`` (singleton key/value state) is pinned to shard 0;
+* else the table's first column — connection-relation rotations have no
+  canonical owner, so any *consistent* choice keeps reads (which union
+  all shards) and writes (which must land each row on exactly one
+  shard) correct; the leading column spreads rows evenly.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Sequence
+
+from ..core.execution import shard_of
+from ..storage.decomposer import LoadedDatabase
+from ..storage.persistence import has_metadata, persist_metadata
+from .partition import PartitionBook
+
+_SHARD_0_ONLY = ("meta_index_state",)
+"""Singleton state tables pinned to shard 0 (no per-object owner)."""
+
+_TO_META_TABLE = "meta_target_objects"
+
+_INSERT_BATCH = 2000
+"""Rows per executemany batch while scattering."""
+
+
+def shard_filename(index: int) -> str:
+    """The conventional file name of one shard."""
+    return f"shard_{index}.db"
+
+
+def scatter_column(table: str, columns: Sequence[str]) -> str | None:
+    """The column whose hash routes a row of ``table``, or ``None`` when
+    the table is pinned whole to shard 0 (see the module policy)."""
+    if table in _SHARD_0_ONLY:
+        return None
+    if "to_id" in columns:
+        return "to_id"
+    if "source_to" in columns:
+        return "source_to"
+    return columns[0]
+
+
+class ShardSet:
+    """A directory of shard files and their partition book.
+
+    Attributes:
+        directory: The shard directory.
+        book: The persisted partition book.
+    """
+
+    def __init__(self, directory: str | Path, book: PartitionBook) -> None:
+        self.directory = Path(directory)
+        self.book = book
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards in the set."""
+        return self.book.num_shards
+
+    def shard_paths(self) -> list[Path]:
+        """Paths of every shard file, in shard order."""
+        return [
+            self.directory / shard_filename(index)
+            for index in range(self.num_shards)
+        ]
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "ShardSet":
+        """Open an existing shard directory (validates the files exist)."""
+        book = PartitionBook.load(directory)
+        shards = cls(directory, book)
+        missing = [path for path in shards.shard_paths() if not path.exists()]
+        if missing:
+            raise FileNotFoundError(
+                f"shard directory {directory} is missing {missing[0].name} "
+                f"(and possibly more of its {book.num_shards} shards)"
+            )
+        return shards
+
+
+def create_shards(
+    loaded: LoadedDatabase, num_shards: int, directory: str | Path
+) -> ShardSet:
+    """Scatter a loaded database into ``num_shards`` shard files.
+
+    Replays the source database's schema (tables, then indexes) into
+    every shard, routes each row by the partition hash of its scatter
+    column, and persists the partition book.  Target-object metadata is
+    persisted first when missing
+    (:func:`~repro.storage.persistence.persist_metadata`) so workers can
+    reopen the shards without the original XML; beyond that the source
+    database is only read.
+
+    Args:
+        loaded: The load-stage output to scatter.
+        num_shards: Shard count (>= 1).
+        directory: Destination directory (created if missing).
+
+    Returns:
+        The created :class:`ShardSet`.
+    """
+    if num_shards < 1:
+        raise ValueError("need at least one shard")
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    source = loaded.database
+    if not has_metadata(source):
+        persist_metadata(loaded)
+
+    schema = source.query(
+        "SELECT type, sql FROM sqlite_master "
+        "WHERE sql IS NOT NULL AND name NOT LIKE 'sqlite_%' "
+        "ORDER BY CASE type WHEN 'table' THEN 0 ELSE 1 END, name"
+    )
+    connections: list[sqlite3.Connection] = []
+    try:
+        for index in range(num_shards):
+            path = target / shard_filename(index)
+            if path.exists():
+                path.unlink()
+            connection = sqlite3.connect(path)
+            connection.execute("PRAGMA synchronous = OFF")
+            connection.execute("PRAGMA journal_mode = MEMORY")
+            for _, ddl in schema:
+                connection.execute(ddl)
+            connections.append(connection)
+
+        for table in source.table_names():
+            columns = [
+                str(row[1])
+                for row in source.query(f"PRAGMA table_info({table})")
+            ]
+            column = scatter_column(table, columns)
+            ordinal = columns.index(column) if column is not None else None
+            rows = source.query(f"SELECT * FROM {table}")
+            buckets: dict[int, list[tuple]] = {i: [] for i in range(num_shards)}
+            for row in rows:
+                owner = (
+                    0
+                    if ordinal is None
+                    else shard_of(str(row[ordinal]), num_shards)
+                )
+                buckets[owner].append(row)
+            placeholders = ", ".join("?" for _ in columns)
+            statement = f"INSERT INTO {table} VALUES ({placeholders})"
+            for index, batch in buckets.items():
+                for start in range(0, len(batch), _INSERT_BATCH):
+                    connections[index].executemany(
+                        statement, batch[start:start + _INSERT_BATCH]
+                    )
+        for connection in connections:
+            connection.commit()
+    finally:
+        for connection in connections:
+            connection.close()
+
+    book = PartitionBook.from_target_objects(
+        loaded.to_graph.tss_of_to, num_shards
+    )
+    book.save(target)
+    return ShardSet(target, book)

@@ -12,7 +12,9 @@ DBLP_QUERY = KeywordQuery.of("smith", "balmin", max_size=6)
 
 
 def traced_engine(db) -> XKeyword:
-    return XKeyword(db, tracer=Tracer(TraceStore()))
+    # shards=1 pins the unsharded trace shape (cn spans own the execute
+    # children); the scattered shape is covered by tests/sharding/.
+    return XKeyword(db, tracer=Tracer(TraceStore()), shards=1)
 
 
 class TestSpanTreeContents:

@@ -1,0 +1,63 @@
+"""Fixtures for the sharding suite.
+
+Shard creation persists metadata tables into the source database, so
+these fixtures always build *fresh* loads (never the session-scoped
+``small_dblp_db``, whose table set other modules assume frozen).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decomposition import minimal_decomposition
+from repro.schema import dblp_catalog
+from repro.sharding import create_shards, open_sharded
+from repro.storage import load_database
+from repro.workloads import DBLPConfig, generate_dblp
+
+QUERIES = (
+    ("smith", "balmin"),
+    ("smith", "chen"),
+    ("balmin", "chen"),
+    ("smith",),
+)
+"""Keyword queries with non-empty containing lists on the seed-3 corpus."""
+
+
+def build_dblp(papers: int = 40, authors: int = 20):
+    """A fresh, mutable DBLP load: ``(catalog, decompositions, loaded)``."""
+    catalog = dblp_catalog()
+    graph = generate_dblp(
+        DBLPConfig(papers=papers, authors=authors, avg_citations=2.0, seed=3)
+    )
+    decompositions = [minimal_decomposition(catalog.tss)]
+    return catalog, decompositions, load_database(graph, catalog, decompositions)
+
+
+def ranked(result):
+    """The byte-identity projection the equivalence suite compares."""
+    return [
+        (m.ctssn.canonical_key, m.assignment, m.score) for m in result.mttons
+    ]
+
+
+@pytest.fixture(scope="module")
+def dblp_setup():
+    """One fresh DBLP load per test module (read-only use)."""
+    return build_dblp()
+
+
+@pytest.fixture(scope="module")
+def shard_dir(dblp_setup, tmp_path_factory):
+    """A 3-shard directory scattered from the module's DBLP load."""
+    _, _, loaded = dblp_setup
+    directory = tmp_path_factory.mktemp("shards")
+    create_shards(loaded, 3, directory)
+    return directory
+
+
+@pytest.fixture(scope="module")
+def gathered(dblp_setup, shard_dir):
+    """The shard directory reopened through gather views."""
+    catalog, decompositions, _ = dblp_setup
+    return open_sharded(shard_dir, catalog, decompositions)

@@ -1,0 +1,78 @@
+"""Property suite: sharded top-k is byte-identical to the oracle.
+
+The gate from the sharding issue — for every query, shard count and
+backend, the ranked ``(canonical_key, assignment, score)`` stream of a
+scattered search must equal the single-shard oracle exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ExecutorConfig, KeywordQuery, XKeyword
+
+from .conftest import QUERIES, ranked
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st  # noqa: E402
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    keywords=st.sampled_from(QUERIES),
+    shards=st.sampled_from([1, 2, 4]),
+    k=st.sampled_from([1, 3, 10]),
+    backend=st.sampled_from(["python", "sql"]),
+)
+def test_logical_scatter_matches_oracle(dblp_setup, keywords, shards, k, backend):
+    _, _, loaded = dblp_setup
+    query = KeywordQuery(keywords, max_size=6)
+    config = ExecutorConfig(backend=backend)
+    oracle = ranked(
+        XKeyword(loaded, executor_config=config, shards=1).search(
+            query, k=k, parallel=False
+        )
+    )
+    scattered = ranked(
+        XKeyword(loaded, executor_config=config, shards=shards).search(query, k=k)
+    )
+    assert scattered == oracle
+
+
+@settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(keywords=st.sampled_from(QUERIES), shards=st.sampled_from([2, 4]))
+def test_logical_scatter_matches_oracle_unbounded(dblp_setup, keywords, shards):
+    _, _, loaded = dblp_setup
+    query = KeywordQuery(keywords, max_size=6)
+    oracle = ranked(XKeyword(loaded, shards=1).search_all(query))
+    scattered = ranked(XKeyword(loaded, shards=shards).search_all(query))
+    assert scattered == oracle
+
+
+def test_gather_views_preserve_fingerprint(dblp_setup, gathered):
+    _, _, loaded = dblp_setup
+    assert gathered.fingerprint() == loaded.fingerprint()
+
+
+@pytest.mark.parametrize("backend", ["python", "sql"])
+def test_gather_read_path_matches_oracle(dblp_setup, gathered, backend):
+    _, _, loaded = dblp_setup
+    config = ExecutorConfig(backend=backend)
+    query = KeywordQuery.of("smith", "balmin", max_size=6)
+    oracle = ranked(
+        XKeyword(loaded, executor_config=config).search(query, k=10, parallel=False)
+    )
+    through_views = ranked(
+        XKeyword(gathered, executor_config=config).search(
+            query, k=10, parallel=False
+        )
+    )
+    assert through_views == oracle

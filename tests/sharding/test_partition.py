@@ -1,0 +1,58 @@
+"""PartitionBook and shard-resolution behavior."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SHARDS_ENV_VAR, ShardPartition, resolve_shards, shard_of
+from repro.sharding import PartitionBook
+
+
+def test_book_counts_cover_all_target_objects(dblp_setup):
+    _, _, loaded = dblp_setup
+    book = PartitionBook.from_target_objects(loaded.to_graph.tss_of_to, 3)
+    assert book.num_shards == 3
+    assert sum(book.counts.values()) == loaded.to_graph.target_object_count
+    for to_id in loaded.to_graph.tss_of_to:
+        shard = book.shard_of(to_id)
+        assert shard == shard_of(to_id, 3)
+        assert book.partition(shard).owns(to_id)
+
+
+def test_book_save_load_roundtrip(dblp_setup, tmp_path):
+    _, _, loaded = dblp_setup
+    book = PartitionBook.from_target_objects(loaded.to_graph.tss_of_to, 4)
+    book.save(tmp_path)
+    loaded_book = PartitionBook.load(tmp_path)
+    assert loaded_book == book
+    assert [p.index for p in loaded_book.partitions()] == [0, 1, 2, 3]
+
+
+def test_book_validation_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        PartitionBook(num_shards=0, counts={}, policy="crc32")
+    with pytest.raises(ValueError):
+        PartitionBook(num_shards=2, counts={0: 1, 5: 1}, policy="crc32")
+
+
+def test_load_rejects_missing_book(tmp_path):
+    with pytest.raises(FileNotFoundError):
+        PartitionBook.load(tmp_path)
+
+
+def test_partition_identity_and_cache_key():
+    solo = ShardPartition(index=0, count=1)
+    assert solo.owns("anything")
+    split = ShardPartition(index=1, count=2)
+    assert split.cache_key != solo.cache_key
+    assert split.owns("x") == (shard_of("x", 2) == 1)
+
+
+def test_resolve_shards_reads_environment(monkeypatch):
+    monkeypatch.delenv(SHARDS_ENV_VAR, raising=False)
+    assert resolve_shards(None) == 1
+    monkeypatch.setenv(SHARDS_ENV_VAR, "4")
+    assert resolve_shards(None) == 4
+    assert resolve_shards(2) == 2
+    monkeypatch.setenv(SHARDS_ENV_VAR, "not-a-number")
+    assert resolve_shards(None) == 1

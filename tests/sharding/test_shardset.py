@@ -1,0 +1,71 @@
+"""Scattering a load into shard files and opening the result."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.core import shard_of
+from repro.sharding import ShardSet, create_shards
+from repro.sharding.shardset import scatter_column, shard_filename
+from repro.storage.persistence import store_index_epoch
+
+from .conftest import build_dblp
+
+
+def _rows(path, table, columns):
+    with sqlite3.connect(path) as connection:
+        cursor = connection.execute(f"SELECT {columns} FROM {table}")
+        return [tuple(row) for row in cursor.fetchall()]
+
+
+def test_scatter_column_policy():
+    assert scatter_column("master_index", ("keyword", "to_id")) == "to_id"
+    assert scatter_column("meta_to_edges", ("edge_id", "source_to")) == "source_to"
+    assert scatter_column("meta_index_state", ("key", "value")) is None
+    assert scatter_column("anything_else", ("a", "b")) == "a"
+
+
+def test_create_shards_partitions_rows_disjointly(dblp_setup, shard_dir):
+    _, _, loaded = dblp_setup
+    shards = ShardSet.open(shard_dir)
+    assert shards.num_shards == 3
+
+    source_rows = sorted(
+        tuple(row)
+        for row in loaded.database.query("SELECT keyword, to_id FROM master_index")
+    )
+    scattered: list[tuple] = []
+    for index, path in enumerate(shards.shard_paths()):
+        assert path.name == shard_filename(index)
+        rows = _rows(path, "master_index", "keyword, to_id")
+        for _, to_id in rows:
+            assert shard_of(str(to_id), 3) == index
+        scattered.extend(rows)
+    assert sorted(scattered) == source_rows
+
+
+def test_create_shards_pins_index_state_to_shard_zero(tmp_path):
+    _, _, loaded = build_dblp(papers=5, authors=3)
+    store_index_epoch(loaded.database, 7)
+    loaded.database.commit()
+    create_shards(loaded, 3, tmp_path)
+    paths = list(ShardSet.open(tmp_path).shard_paths())
+    assert _rows(paths[0], "meta_index_state", "key") == [("index_epoch",)]
+    for path in paths[1:]:
+        assert _rows(path, "meta_index_state", "key") == []
+
+
+def test_create_shards_requires_positive_count(tmp_path):
+    _, _, loaded = build_dblp(papers=5, authors=3)
+    with pytest.raises(ValueError):
+        create_shards(loaded, 0, tmp_path)
+
+
+def test_open_rejects_missing_shard_file(dblp_setup, tmp_path):
+    _, _, loaded = dblp_setup
+    create_shards(loaded, 2, tmp_path)
+    (tmp_path / shard_filename(1)).unlink()
+    with pytest.raises(FileNotFoundError):
+        ShardSet.open(tmp_path)

@@ -29,6 +29,7 @@ DOCS = (
     "EXPERIMENTS.md",
     "ROADMAP.md",
     "docs/ARCHITECTURE.md",
+    "docs/OPERATIONS.md",
 )
 SUFFIXES = (".py", ".md", ".toml", ".yml", ".xml", ".txt", ".cfg")
 MD_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
