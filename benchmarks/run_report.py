@@ -445,6 +445,33 @@ def updates_report(repeats: int) -> None:
     )
 
 
+def streaming_report(repeats: int) -> None:
+    """Incremental delivery: time-to-first-result vs full-query latency.
+
+    Streams the Fig 15(a) workload through ``XKeyword.search_streaming``
+    and reports the median wall clock to the first published result and
+    to stream completion, plus their ratio — the user-visible win of
+    incremental delivery (the full-query time is the same work the
+    buffered ``search()`` does).
+    """
+    import bench_streaming as streaming
+
+    first, full = streaming.streaming_latencies(repeats=max(repeats, 2))
+    speedup = full / first if first else 0.0
+    record_metric("streaming/first_result_ms", first * 1000)
+    record_metric("streaming/full_query_ms", full * 1000)
+    record_metric("streaming/first_vs_full_speedup", speedup, "higher")
+    table(
+        "Streaming - first-result vs full-query latency (Fig 15(a) workload)",
+        ["metric", "value"],
+        [
+            ["first result (ms, median)", f"{first * 1000:.1f}"],
+            ["full query (ms, median)", f"{full * 1000:.1f}"],
+            ["first-result speedup", f"{speedup:.2f}x"],
+        ],
+    )
+
+
 def sharding_report(repeats: int) -> None:
     """Shard scaling on the bandwidth-bound all-results workload.
 
@@ -546,6 +573,7 @@ def main() -> None:
     space_report()
     baselines_report(repeats)
     updates_report(repeats)
+    streaming_report(repeats)
     sharding_report(repeats)
 
     if args.json:

@@ -138,6 +138,13 @@ def _build_parser() -> argparse.ArgumentParser:
                 "files and run one worker process per shard "
                 "(multiprocess scatter-gather; see repro.sharding)",
             )
+            sub.add_argument(
+                "--stream",
+                action="store_true",
+                help="print each result the moment the ranked prefix "
+                "admits it (incremental delivery; the printed order is "
+                "identical to the buffered run)",
+            )
         if name == "navigate":
             sub.add_argument(
                 "--cn",
@@ -397,12 +404,39 @@ def _process_sharded_search(
             pool.close()
 
 
+def _print_mtton(rank: int, mtton, prefix: str = "") -> None:
+    """Print one ranked result (nodes joined by edges) with ``prefix``."""
+    labels = mtton.ctssn.network.labels
+    nodes = " + ".join(f"{labels[role]}:{to}" for role, to in mtton.assignment)
+    print(f"{prefix}#{rank} score={mtton.score}  {nodes}")
+    for edge in mtton.edges:
+        label = edge.forward_label or edge.edge_id
+        print(f"    {edge.source_to} --{label}--> {edge.target_to}")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     catalog, loaded = _load(args)
     query = KeywordQuery(tuple(args.keywords.split()), max_size=args.max_size)
     started = time.perf_counter()
+    streamed = False
     if args.shard_mode == "process" and (args.shards or 0) > 1:
+        if args.stream:
+            print(
+                "--stream: process shard-mode gathers before ranking; "
+                "delivery is buffered",
+                file=sys.stderr,
+            )
         result = _process_sharded_search(args, catalog, loaded, query)
+    elif args.stream:
+        engine = _make_engine(args, loaded)
+        stream = engine.search_streaming(
+            query, k=args.k, all_results=args.all
+        )
+        streamed = True
+        for rank, mtton in enumerate(stream, start=1):
+            arrived = (time.perf_counter() - started) * 1000
+            _print_mtton(rank, mtton, prefix=f"[{arrived:8.1f} ms] ")
+        result = stream.result()
     else:
         engine = _make_engine(args, loaded)
         if args.all:
@@ -425,13 +459,9 @@ def _cmd_search(args: argparse.Namespace) -> int:
             f"scattered across {len(result.metrics.shard_results)} shards "
             f"({args.shard_mode} mode): {per_shard}"
         )
-    for rank, mtton in enumerate(result.mttons, start=1):
-        labels = mtton.ctssn.network.labels
-        nodes = " + ".join(f"{labels[role]}:{to}" for role, to in mtton.assignment)
-        print(f"#{rank} score={mtton.score}  {nodes}")
-        for edge in mtton.edges:
-            label = edge.forward_label or edge.edge_id
-            print(f"    {edge.source_to} --{label}--> {edge.target_to}")
+    if not streamed:
+        for rank, mtton in enumerate(result.mttons, start=1):
+            _print_mtton(rank, mtton)
     if args.explain and result.trace is not None:
         print()
         print(result.trace.render())

@@ -45,6 +45,7 @@ from .sqlcompile import (
     compile_prefix,
     render_sql,
 )
+from .streaming import ResultStream, StreamCancelledError, StreamCursor
 
 __all__ = [
     "BACKEND_PYTHON",
@@ -75,6 +76,9 @@ __all__ = [
     "ReductionError",
     "ResultCache",
     "ResultRow",
+    "ResultStream",
+    "StreamCancelledError",
+    "StreamCursor",
     "SHARDS_ENV_VAR",
     "STRATEGIES",
     "SQLCTSSNExecutor",

@@ -43,6 +43,7 @@ from .plans import ExecutionPlan
 from .query import KeywordQuery
 from .results import MTTON, materialize
 from .sqlcompile import SQLCTSSNExecutor, render_sql
+from .streaming import ResultStream, _StreamEmitter
 
 
 @dataclass
@@ -304,6 +305,7 @@ class XKeyword:
         *,
         partition: ShardPartition | None = None,
         shared_bound=None,
+        stream: ResultStream | None = None,
     ) -> SearchResult:
         """Top-k search: the web-search-engine-like presentation mode.
 
@@ -320,6 +322,12 @@ class XKeyword:
                 :class:`~repro.core.execution.TopKBound` — scatter-gather
                 coordinators propagate the global k-th best through it so
                 cross-shard pruning stays exact.
+            stream: Optional :class:`~repro.core.streaming.ResultStream`
+                the scheduler publishes each ranked result to the moment
+                its score band is final (the streamed sequence is
+                byte-identical to the returned ``result.mttons``); the
+                stream is completed — or its unstreamed tail published —
+                when the search returns.
         """
         return self._run(
             query,
@@ -328,6 +336,7 @@ class XKeyword:
             parallel=parallel,
             partition=partition,
             shared_bound=shared_bound,
+            stream=stream,
         )
 
     def search_all(
@@ -335,9 +344,54 @@ class XKeyword:
         query: KeywordQuery | str,
         config: ExecutorConfig | None = None,
         parallel: bool = False,
+        stream: ResultStream | None = None,
     ) -> SearchResult:
-        """Produce the full list of results (no K cutoff)."""
-        return self._run(query, limit=None, config=config, parallel=parallel)
+        """Produce the full list of results (no K cutoff).
+
+        ``stream`` works as in :meth:`search`, with no emission budget.
+        """
+        return self._run(
+            query, limit=None, config=config, parallel=parallel, stream=stream
+        )
+
+    def search_streaming(
+        self,
+        query: KeywordQuery | str,
+        k: int = 10,
+        config: ExecutorConfig | None = None,
+        parallel: bool = True,
+        *,
+        all_results: bool = False,
+    ) -> ResultStream:
+        """Run :meth:`search` on a background thread, returning its stream.
+
+        The returned :class:`~repro.core.streaming.ResultStream` yields
+        ranked results incrementally (iterate it, or
+        :meth:`~repro.core.streaming.ResultStream.subscribe` several
+        cursors) and exposes the buffered
+        :class:`SearchResult` via
+        :meth:`~repro.core.streaming.ResultStream.result` once the
+        execution finishes.  Call
+        :meth:`~repro.core.streaming.ResultStream.cancel` to wind the
+        execution down early.
+        """
+        stream = ResultStream()
+
+        def run() -> None:
+            try:
+                if all_results:
+                    self.search_all(
+                        query, config=config, parallel=parallel, stream=stream
+                    )
+                else:
+                    self.search(
+                        query, k=k, config=config, parallel=parallel, stream=stream
+                    )
+            except BaseException as exc:  # noqa: BLE001 - delivered to consumers
+                stream.fail(exc)
+
+        threading.Thread(target=run, name="xkeyword-stream", daemon=True).start()
+        return stream
 
     def stream(
         self,
@@ -401,6 +455,7 @@ class XKeyword:
         parallel: bool,
         partition: ShardPartition | None = None,
         shared_bound=None,
+        stream: ResultStream | None = None,
     ) -> SearchResult:
         query = self._coerce(query)
         config = config or self.executor_config
@@ -428,7 +483,7 @@ class XKeyword:
         )
         span.finish()
         if any(not containing.keyword_tos[k] for k in query.keywords):
-            return self._finish(query, result, started, trace)
+            return self._finish(query, result, started, trace, stream=stream)
 
         span = trace.span("cn_generation")
         stage_started = time.perf_counter()
@@ -498,6 +553,35 @@ class XKeyword:
             name for _, plan, _ in planned for name in plan.relations_used()
         )
 
+        emitter: _StreamEmitter | None = None
+        if stream is not None:
+            # One completion signal per (CN, shard) on the thread-scatter
+            # path; per CN otherwise.  A process-sharded override that
+            # ignores the emitter simply never flushes — the stream is
+            # then filled at gather time by ``_finish``'s complete().
+            scatter = partition is None and self.shards > 1
+            on_emit = None
+            if trace.enabled:
+
+                def on_emit(rank: int, mtton: MTTON) -> None:
+                    trace.span(
+                        "emit",
+                        rank=rank,
+                        score=mtton.score,
+                        network=mtton.ctssn.canonical_key,
+                    ).finish()
+
+            emitter = _StreamEmitter(
+                stream,
+                [ctssn.score for ctssn, _, _ in planned],
+                limit,
+                multiplier=self.shards if scatter else 1,
+                on_first=lambda seconds: metrics.record_stage(
+                    "first_result", seconds
+                ),
+                on_emit=on_emit,
+            )
+
         if partition is None and self.shards > 1:
             # Scatter-gather: one thread per logical shard, anchor seeds
             # partitioned by target-object hash, the global bound shared
@@ -506,7 +590,7 @@ class XKeyword:
             # below yields a byte-identical ranked top-k.
             collected = self._scatter_execute(
                 query, planned, containing, config, limit, trace, metrics,
-                lookup_cache,
+                lookup_cache, emitter=emitter,
             )
             collected.sort(
                 key=lambda m: (m.score, m.ctssn.canonical_key, m.assignment)
@@ -514,7 +598,7 @@ class XKeyword:
             if limit is not None:
                 collected = collected[:limit]
             result.mttons = collected
-            return self._finish(query, result, started, trace)
+            return self._finish(query, result, started, trace, stream=stream)
 
         prefixes: dict[int, PrefixSpec] = {}
         prefix_table: SharedPrefixTable | None = None
@@ -534,9 +618,23 @@ class XKeyword:
         lock = threading.Lock()
 
         def evaluate(index: int) -> ExecutionMetrics:
+            # The emitter must see a completion signal for *every*
+            # planned CN — executed, pruned, abandoned, or cancelled —
+            # or its score-band frontier would never advance.
+            try:
+                return evaluate_cn(index)
+            finally:
+                if emitter is not None:
+                    emitter.cn_done(planned[index][0].score)
+
+        def evaluate_cn(index: int) -> ExecutionMetrics:
             ctssn, plan, cn_span = planned[index]
             local_metrics = ExecutionMetrics()
             lower = self.optimizer.score_lower_bound(ctssn)
+            if emitter is not None and emitter.cancelled:
+                cn_span.annotate(cancelled=True, actual_results=0)
+                cn_span.finish()
+                return local_metrics
             if bound is not None and not bound.admits(lower):
                 local_metrics.cns_pruned += 1
                 cn_span.annotate(
@@ -567,6 +665,11 @@ class XKeyword:
                     produced += 1
                     with lock:
                         collected.append(mtton)
+                    if emitter is not None:
+                        emitter.offer(mtton)
+                        if emitter.cancelled:
+                            abandoned = True
+                            break
                     if bound is not None:
                         bound.add(mtton.score)
                         # Another CN may have lowered the bound below
@@ -604,7 +707,7 @@ class XKeyword:
         if limit is not None:
             collected = collected[:limit]
         result.mttons = collected
-        return self._finish(query, result, started, trace)
+        return self._finish(query, result, started, trace, stream=stream)
 
     def _scatter_execute(
         self,
@@ -616,12 +719,19 @@ class XKeyword:
         trace,
         metrics: ExecutionMetrics,
         lookup_cache: ResultCache,
+        emitter: _StreamEmitter | None = None,
     ) -> list[MTTON]:
         """Evaluate every planned CN once per shard, gathering results.
 
         ``query`` is unused on the in-process path but part of the seam:
         :class:`repro.sharding.engine.ShardedXKeyword` overrides this
         method to ship the query to per-shard worker processes.
+
+        ``emitter`` (when the caller streams) expects one completion
+        signal per (CN, shard) pair; results are offered as produced so
+        finished score bands flush incrementally.  Overrides that gather
+        all results at once may ignore it — the stream then falls back
+        to bulk publication at completion.
 
         Each shard gets a :class:`~repro.core.execution.ShardPartition`
         restricting anchor seeds to the target objects it owns, its own
@@ -665,8 +775,13 @@ class XKeyword:
             try:
                 for index, (ctssn, plan, _) in enumerate(planned):
                     lower = self.optimizer.score_lower_bound(ctssn)
+                    if emitter is not None and emitter.cancelled:
+                        emitter.cn_done(ctssn.score)
+                        continue
                     if bound is not None and not bound.admits(lower):
                         local_metrics.cns_pruned += 1
+                        if emitter is not None:
+                            emitter.cn_done(ctssn.score)
                         continue
                     execute_span = shard_span.child("execute")
                     execute_span.annotate(
@@ -695,6 +810,11 @@ class XKeyword:
                             produced += 1
                             with lock:
                                 collected.append(mtton)
+                            if emitter is not None:
+                                emitter.offer(mtton)
+                                if emitter.cancelled:
+                                    abandoned = True
+                                    break
                             if bound is not None:
                                 bound.add(mtton.score)
                                 if not bound.admits(lower):
@@ -709,6 +829,8 @@ class XKeyword:
                             execute_span.annotate(pruned="abandoned")
                         execute_span.finish()
                         shard_results += produced
+                        if emitter is not None:
+                            emitter.cn_done(ctssn.score)
             finally:
                 local_metrics.record_shard(
                     shard_index,
@@ -734,7 +856,16 @@ class XKeyword:
         result: SearchResult,
         started: float,
         trace=None,
+        stream: ResultStream | None = None,
     ) -> SearchResult:
+        if stream is not None and result.mttons:
+            # Paths without an incremental emitter (process-sharded
+            # gather, empty-query early return) only deliver at
+            # completion: first-result latency equals full latency.
+            if "first_result" not in result.metrics.stage_seconds:
+                result.metrics.record_stage(
+                    "first_result", time.perf_counter() - started
+                )
         if trace is not None:
             trace.root.annotate(
                 results=len(result.mttons),
@@ -746,4 +877,6 @@ class XKeyword:
             self.hooks.on_search_complete(
                 query, result, time.perf_counter() - started
             )
+        if stream is not None:
+            stream.complete(result)
         return result

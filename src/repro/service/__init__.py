@@ -13,6 +13,7 @@ from .admission import (
 )
 from .cache import CacheStats, QueryCache, query_cache_key
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .singleflight import Flight, SingleFlight
 from .server import (
     QueryService,
     ServiceConfig,
@@ -27,6 +28,7 @@ __all__ = [
     "CacheStats",
     "Counter",
     "DeadlineExceededError",
+    "Flight",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
@@ -34,6 +36,7 @@ __all__ = [
     "QueryService",
     "RejectedError",
     "ServiceConfig",
+    "SingleFlight",
     "XKeywordHTTPServer",
     "create_server",
     "query_cache_key",

@@ -52,15 +52,18 @@ class AdmissionStats:
 
 
 class _Job:
-    __slots__ = ("fn", "deadline", "done", "result", "error", "enqueued_at")
+    __slots__ = (
+        "fn", "deadline", "done", "result", "error", "enqueued_at", "on_expired"
+    )
 
-    def __init__(self, fn, deadline: float | None) -> None:
+    def __init__(self, fn, deadline: float | None, on_expired=None) -> None:
         self.fn = fn
         self.deadline = deadline
         self.done = threading.Event()
         self.result = None
         self.error: BaseException | None = None
         self.enqueued_at = time.monotonic()
+        self.on_expired = on_expired
 
 
 class AdmissionController:
@@ -103,18 +106,25 @@ class AdmissionController:
             thread.start()
 
     # ------------------------------------------------------------------
-    def run(self, fn, deadline: float | None = None):
-        """Execute ``fn()`` on the pool and return its result.
+    def submit(self, fn, deadline: float | None = None, on_expired=None) -> _Job:
+        """Enqueue ``fn`` without waiting; return its job handle.
+
+        Streaming callers use this to start an execution whose results
+        are consumed through a side channel (a
+        :class:`~repro.core.streaming.ResultStream`) rather than the
+        job's return value.  ``on_expired`` fires on the worker thread
+        if the job's deadline elapses while it is still queued — the
+        one case where ``fn`` never runs and nobody else can observe
+        the drop.
 
         Raises:
             RejectedError: The queue is full (shed; retry later).
-            DeadlineExceededError: The deadline elapsed first.
         """
         if self._closed:
             raise RejectedError("service is shutting down", retry_after=5.0)
         timeout = deadline if deadline is not None else self.default_deadline
         absolute = time.monotonic() + timeout if timeout is not None else None
-        job = _Job(fn, absolute)
+        job = _Job(fn, absolute, on_expired)
         try:
             self._queue.put_nowait(job)
         except queue.Full:
@@ -126,7 +136,20 @@ class AdmissionController:
             ) from None
         with self._lock:
             self._stats.submitted += 1
-        remaining = None if absolute is None else max(0.0, absolute - time.monotonic())
+        return job
+
+    def run(self, fn, deadline: float | None = None):
+        """Execute ``fn()`` on the pool and return its result.
+
+        Raises:
+            RejectedError: The queue is full (shed; retry later).
+            DeadlineExceededError: The deadline elapsed first.
+        """
+        timeout = deadline if deadline is not None else self.default_deadline
+        job = self.submit(fn, deadline=deadline)
+        remaining = (
+            None if job.deadline is None else max(0.0, job.deadline - time.monotonic())
+        )
         if not job.done.wait(timeout=remaining):
             # The worker may still pick the job up; flagging the deadline
             # as passed makes it drop the job cheaply instead.
@@ -147,6 +170,11 @@ class AdmissionController:
                 with self._lock:
                     self._stats.expired += 1
                 job.error = DeadlineExceededError("expired while queued")
+                if job.on_expired is not None:
+                    try:
+                        job.on_expired(job.error)
+                    except Exception:  # pragma: no cover - callback bug
+                        pass
                 job.done.set()
                 continue
             with self._lock:

@@ -7,7 +7,12 @@ one-shot CLI that pays the full load-and-search cost per invocation.
 This module turns one loaded database into a serving process:
 
 * ``POST /search``   — ranked MTTONs as JSON (top-k or all-results);
+  with ``"stream": true`` (or ``Accept: text/event-stream``) results
+  are delivered incrementally as Server-Sent Events the moment the
+  scheduler finalizes them, in the exact buffered ranked order;
 * ``GET  /expand``   — on-demand presentation-graph navigation;
+  chunked SSE responses keep the HTTP/1.1 connection alive, so a
+  client can stream a search and expand its results over one socket;
 * ``POST   /documents``       — insert a document (live update);
 * ``PUT    /documents/<id>``  — replace a document in place;
 * ``DELETE /documents/<id>``  — delete a document's subtree;
@@ -31,10 +36,13 @@ trace that originally computed the entry.  Searches slower than
 ``ServiceConfig.slow_query_seconds`` are logged to stderr with their
 trace id, so "why was that slow?" is one ``GET /debug/trace/<id>`` away.
 
-Three service concerns wrap the engine (each in its own module):
+Four service concerns wrap the engine (each in its own module):
 :class:`~repro.service.cache.QueryCache` serves repeated queries without
 touching the pipeline, :class:`~repro.service.admission.AdmissionController`
-bounds concurrency and sheds overload with 503 + ``Retry-After``, and
+bounds concurrency and sheds overload with 503 + ``Retry-After``,
+:class:`~repro.service.singleflight.SingleFlight` coalesces concurrent
+identical requests onto one execution whose
+:class:`~repro.core.ResultStream` feeds every waiter, and
 :class:`~repro.service.metrics.MetricsRegistry` meters everything via the
 engine's :class:`~repro.core.SearchHooks`.
 
@@ -71,6 +79,7 @@ from ..updates import UpdateManager
 from .admission import AdmissionController, DeadlineExceededError, RejectedError
 from .cache import QueryCache, query_cache_key
 from .metrics import STAGE_BUCKETS, MetricsRegistry
+from .singleflight import Flight, SingleFlight
 
 
 class MutationsDisabledError(Exception):
@@ -229,6 +238,25 @@ class _EngineState:
     (reopened without its XML graph)."""
 
 
+@dataclass(frozen=True)
+class _PreparedSearch:
+    """A validated search request bound to one engine generation.
+
+    Shared by the buffered and streaming entry points so both coalesce
+    on the same single-flight key and honor the same backend override.
+    """
+
+    state: _EngineState
+    query: KeywordQuery
+    k: int | None
+    all_results: bool
+    key: tuple
+    config: ExecutorConfig | None
+    snapshot: tuple
+    """Per-keyword VersionVector snapshot taken at admission, compared
+    around execution to detect mid-flight invalidation."""
+
+
 class QueryService:
     """One loaded database behind caching, admission control and metrics.
 
@@ -313,6 +341,19 @@ class QueryService:
             "repro_slow_queries_total",
             "Searches slower than the slow-query threshold",
         )
+        self.singleflight = SingleFlight()
+        self._singleflight_hits = self.registry.counter(
+            "repro_singleflight_hits_total",
+            "Requests coalesced onto an in-flight identical execution",
+        )
+        self._singleflight_flights = self.registry.counter(
+            "repro_singleflight_flights_total",
+            "Executions started as single-flight leaders",
+        )
+        self._stream_requests = self.registry.counter(
+            "repro_stream_requests_total",
+            "Searches delivered incrementally (SSE / chunked JSON)",
+        )
         self._mutations = lambda op: self.registry.counter(
             "repro_mutations_total", "Live document mutations by operation", op=op
         )
@@ -393,6 +434,38 @@ class QueryService:
                 results, but entries are cached per backend so replays
                 keep honest per-backend traces and metrics.
         """
+        prep = self._prepare_search(keywords, k, max_size, all_results, backend)
+        started = time.perf_counter()
+        cached = self.cache.get(prep.key)
+        if cached is not None:
+            self._cache_hits.inc()
+            return self._payload(cached, prep.k, time.perf_counter() - started, True)
+        self._cache_misses.inc()
+
+        flight, joined = self.singleflight.join(prep.key)
+        try:
+            if joined:
+                self._singleflight_hits.inc()
+                result = self._await_flight(flight, deadline)
+            else:
+                result = self._lead_flight(flight, prep, deadline)
+        finally:
+            self.singleflight.leave(flight)
+        seconds = time.perf_counter() - started
+        self._log_if_slow(result, seconds)
+        return self._payload(
+            result, prep.k, seconds, False, shared=joined, stale=flight.stale
+        )
+
+    def _prepare_search(
+        self,
+        keywords: list[str],
+        k: int | None,
+        max_size: int,
+        all_results: bool,
+        backend: str | None,
+    ) -> "_PreparedSearch":
+        """Validate a request and compute its cache/single-flight key."""
         if backend is not None and backend not in BACKENDS:
             raise ValueError(
                 f"unknown backend {backend!r}; expected one of {BACKENDS}"
@@ -413,14 +486,6 @@ class QueryService:
         )
         if override:
             mode = f"{mode}@{backend}"
-        key = query_cache_key(state.fingerprint, query, k, mode)
-        started = time.perf_counter()
-        cached = self.cache.get(key)
-        if cached is not None:
-            self._cache_hits.inc()
-            return self._payload(cached, k, time.perf_counter() - started, True)
-        self._cache_misses.inc()
-
         config = None
         if override:
             config = ExecutorConfig(
@@ -428,25 +493,180 @@ class QueryService:
                 strategy=base_config.strategy,
                 cache_capacity=base_config.cache_capacity,
             )
-
-        def execute() -> SearchResult:
-            # The read side of the update lock: a concurrent mutation
-            # waits for in-flight searches, and searches queued behind a
-            # waiting writer see the fully published next epoch.
-            guard = state.updates.read() if state.updates is not None else nullcontext()
-            overrides = {"config": config} if config is not None else {}
-            with guard:
-                if all_results:
-                    return state.engine.search_all(query, **overrides)
-                return state.engine.search(query, k=k, **overrides)
-
-        result = self.admission.run(execute, deadline=deadline)
-        self.cache.put(
-            key, result, keywords=query.keywords, relations=result.relations_used
+        return _PreparedSearch(
+            state=state,
+            query=query,
+            k=k,
+            all_results=all_results,
+            key=query_cache_key(state.fingerprint, query, k, mode),
+            config=config,
+            # The snapshot anchors mid-flight invalidation detection: a
+            # VersionVector bump between here and execution means the
+            # flight computed from (and is marked as) a stale snapshot.
+            snapshot=self.versions.snapshot(query.keywords, ()),
         )
-        seconds = time.perf_counter() - started
-        self._log_if_slow(result, seconds)
-        return self._payload(result, k, seconds, False)
+
+    def _await_flight(self, flight: Flight, deadline: float | None) -> SearchResult:
+        """Block on another request's in-flight execution (buffered)."""
+        timeout = deadline if deadline is not None else self.config.deadline
+        try:
+            return flight.stream.result(timeout=timeout)
+        except DeadlineExceededError:
+            raise
+        except TimeoutError:
+            raise DeadlineExceededError(
+                f"deadline of {timeout:.3f}s exceeded waiting on shared execution"
+            ) from None
+
+    def _lead_flight(
+        self, flight: Flight, prep: "_PreparedSearch", deadline: float | None
+    ) -> SearchResult:
+        """Run a flight's execution through admission control (buffered).
+
+        A deadline hit while the execution is running leaves it alive —
+        other waiters (and the cache) still get the result; the flight
+        is only failed when the job was shed or expired unrun.
+        """
+        self._singleflight_flights.inc()
+        runner = self._flight_runner(flight, prep)
+
+        def on_expired(error: BaseException) -> None:
+            flight.stream.fail(error)
+
+        try:
+            job = self.admission.submit(runner, deadline=deadline, on_expired=on_expired)
+        except BaseException as exc:
+            # Never enqueued (shed / shutting down): nobody else will
+            # terminate the stream, so waiters must fail here.
+            flight.stream.fail(exc)
+            self.singleflight.finish(flight)
+            raise
+        timeout = deadline if deadline is not None else self.config.deadline
+        remaining = (
+            None if job.deadline is None else max(0.0, job.deadline - time.monotonic())
+        )
+        if not job.done.wait(timeout=remaining):
+            raise DeadlineExceededError(
+                f"deadline of {timeout:.3f}s exceeded before completion"
+            )
+        if job.error is not None:
+            raise job.error
+        return job.result
+
+    def _flight_runner(self, flight: Flight, prep: "_PreparedSearch"):
+        """The worker-side execution of one flight.
+
+        Returns a zero-argument callable that runs the engine with the
+        flight's stream (real engines publish incrementally; injected
+        test engines without a ``stream`` kwarg fall back to bulk
+        publication at completion), detects mid-flight VersionVector
+        invalidation, caches fresh completed results, and always
+        terminates the stream and retires the flight.
+        """
+        state, query = prep.state, prep.query
+
+        def runner() -> SearchResult:
+            try:
+                # The read side of the update lock: a concurrent mutation
+                # waits for in-flight searches, and searches queued behind
+                # a waiting writer see the fully published next epoch.
+                guard = (
+                    state.updates.read()
+                    if state.updates is not None
+                    else nullcontext()
+                )
+                overrides = {}
+                if prep.config is not None:
+                    overrides["config"] = prep.config
+                if isinstance(state.engine, XKeyword):
+                    overrides["stream"] = flight.stream
+                with guard:
+                    # Under the read lock no bump can interleave with the
+                    # execution, so staleness is decided *before* results
+                    # flow: waiters always observe a settled flag.
+                    if self.versions.stale_reason(prep.snapshot) is not None:
+                        flight.stale = True
+                        flight.stream.stale = True
+                    if prep.all_results:
+                        result = state.engine.search_all(query, **overrides)
+                    else:
+                        result = state.engine.search(query, k=prep.k, **overrides)
+                # Engines without the update lock (injected fakes) can
+                # race mutations; re-check so stale results stay uncached.
+                if self.versions.stale_reason(prep.snapshot) is not None:
+                    flight.stale = True
+                    flight.stream.stale = True
+                if not flight.stream.cancelled and not flight.stale:
+                    self.cache.put(
+                        prep.key,
+                        result,
+                        keywords=query.keywords,
+                        relations=result.relations_used,
+                    )
+                flight.stream.complete(result)
+                return result
+            except BaseException as exc:
+                flight.stream.fail(exc)
+                raise
+            finally:
+                self.singleflight.finish(flight)
+
+        return runner
+
+    def search_stream(
+        self,
+        keywords: list[str],
+        k: int | None = None,
+        max_size: int = 8,
+        all_results: bool = False,
+        deadline: float | None = None,
+        backend: str | None = None,
+    ) -> "_StreamSession":
+        """Start (or join, or replay) a search for incremental delivery.
+
+        Returns a :class:`_StreamSession` whose :meth:`~_StreamSession.events`
+        generator yields ``("result", payload)`` per ranked result the
+        moment the scheduler finalizes it, then one ``("done", summary)``.
+        Cache hits replay instantly; concurrent identical requests share
+        one execution (single-flight) and each receive the full stream.
+        The caller must exhaust the generator or call
+        :meth:`~_StreamSession.close` — a departing consumer must not
+        strand the shared flight's waiter count.
+
+        Raises:
+            RejectedError: Admission shed the execution (queue full) —
+                raised here, before any response bytes, so HTTP can
+                still answer 503.
+            ValueError: Unknown backend override.
+        """
+        prep = self._prepare_search(keywords, k, max_size, all_results, backend)
+        started = time.perf_counter()
+        self._stream_requests.inc()
+        cached = self.cache.get(prep.key)
+        if cached is not None:
+            self._cache_hits.inc()
+            return _StreamSession(self, prep, None, started, deadline, cached=cached)
+        self._cache_misses.inc()
+        flight, joined = self.singleflight.join(prep.key)
+        if joined:
+            self._singleflight_hits.inc()
+        else:
+            self._singleflight_flights.inc()
+            runner = self._flight_runner(flight, prep)
+
+            def on_expired(error: BaseException) -> None:
+                flight.stream.fail(error)
+
+            try:
+                self.admission.submit(runner, deadline=deadline, on_expired=on_expired)
+            except BaseException as exc:
+                flight.stream.fail(exc)
+                self.singleflight.finish(flight)
+                self.singleflight.leave(flight)
+                raise
+        return _StreamSession(
+            self, prep, flight, started, deadline, shared=joined
+        )
 
     def _log_if_slow(self, result: SearchResult, seconds: float) -> None:
         """Count and stderr-log a search that crossed the slow threshold."""
@@ -463,13 +683,23 @@ class QueryService:
         )
 
     def _payload(
-        self, result: SearchResult, k: int | None, seconds: float, cached: bool
+        self,
+        result: SearchResult,
+        k: int | None,
+        seconds: float,
+        cached: bool,
+        shared: bool = False,
+        stale: bool = False,
     ) -> dict:
         """The ``/search`` JSON body for one (possibly replayed) result.
 
         A cached replay reports the trace id of the search that computed
         the entry — the spans describe the work actually done, not the
-        dictionary probe that served it.
+        dictionary probe that served it.  ``shared`` marks answers that
+        attached to another request's in-flight execution
+        (single-flight); ``stale`` marks results computed from a
+        snapshot a live update invalidated mid-flight (served, but not
+        cached).
         """
         mttons = result.mttons if k is None else result.top(k)
         return {
@@ -479,6 +709,8 @@ class QueryService:
             },
             "k": k,
             "cached": cached,
+            "shared": shared,
+            "stale": stale,
             "trace_id": result.trace.trace_id if result.trace is not None else None,
             "elapsed_ms": round(seconds * 1000.0, 3),
             "count": len(mttons),
@@ -782,6 +1014,129 @@ class QueryService:
         self._deadline_exceeded.inc()
 
 
+class _StreamSession:
+    """One consumer's incremental view of a (possibly shared) search.
+
+    Produced by :meth:`QueryService.search_stream`.  Owns one stream
+    cursor and one single-flight attachment; :meth:`close` is
+    idempotent and must run exactly once per session, which
+    :meth:`events` guarantees via its ``finally`` — callers that stop
+    iterating early (client disconnect) rely on generator closure.
+    """
+
+    def __init__(
+        self,
+        service: QueryService,
+        prep: _PreparedSearch,
+        flight: Flight | None,
+        started: float,
+        deadline: float | None,
+        shared: bool = False,
+        cached: SearchResult | None = None,
+    ) -> None:
+        """Bind a session to a live flight or a cached replay."""
+        self._service = service
+        self._prep = prep
+        self._flight = flight
+        self._cursor = flight.stream.subscribe() if flight is not None else None
+        self._started = started
+        self._deadline = deadline
+        self._shared = shared
+        self._cached = cached
+        self._closed = False
+
+    def close(self) -> None:
+        """Detach from the shared flight (last consumer cancels it)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._cursor is not None:
+            self._cursor.close()
+        if self._flight is not None:
+            self._service.singleflight.leave(self._flight)
+
+    def _summary(
+        self, result: SearchResult, cached: bool, first_result_ms: float | None
+    ) -> dict:
+        payload = self._service._payload(
+            result,
+            self._prep.k,
+            time.perf_counter() - self._started,
+            cached,
+            shared=self._shared,
+            stale=self._flight.stale if self._flight is not None else False,
+        )
+        del payload["results"]  # already delivered as individual events
+        payload["stream"] = True
+        payload["first_result_ms"] = (
+            round(first_result_ms, 3) if first_result_ms is not None else None
+        )
+        return payload
+
+    def events(self):
+        """Yield ``("result", payload)`` per result, then ``("done", summary)``.
+
+        Blocks between events while the engine works.  Raises
+        :class:`DeadlineExceededError` when the session's deadline
+        elapses mid-stream, and re-raises the execution's failure if
+        the flight errors out.  Always closes the session, even when
+        the consumer abandons the generator.
+        """
+        try:
+            if self._cached is not None:
+                yield from self._replay_events()
+                return
+            timeout = (
+                self._deadline
+                if self._deadline is not None
+                else self._service.config.deadline
+            )
+            deadline_at = None if timeout is None else time.monotonic() + timeout
+            stream = self._flight.stream
+            rank = 0
+            first_ms: float | None = None
+            while True:
+                remaining = None
+                if deadline_at is not None:
+                    remaining = deadline_at - time.monotonic()
+                    if remaining <= 0:
+                        raise DeadlineExceededError(
+                            f"deadline of {timeout:.3f}s exceeded mid-stream"
+                        )
+                try:
+                    mtton = self._cursor.next(timeout=remaining)
+                except StopIteration:
+                    break
+                except DeadlineExceededError:
+                    raise
+                except TimeoutError:
+                    raise DeadlineExceededError(
+                        f"deadline of {timeout:.3f}s exceeded mid-stream"
+                    ) from None
+                rank += 1
+                if first_ms is None:
+                    first_ms = (time.perf_counter() - self._started) * 1000.0
+                yield "result", self._service._mtton_payload(rank, mtton)
+            result = stream.result(timeout=1.0)  # already done; immediate
+            self._service._log_if_slow(
+                result, time.perf_counter() - self._started
+            )
+            yield "done", self._summary(result, False, first_ms)
+        finally:
+            self.close()
+
+    def _replay_events(self):
+        """Emit a cached result as a stream (``cached: true`` summary)."""
+        result = self._cached
+        mttons = result.mttons if self._prep.k is None else result.top(self._prep.k)
+        first_ms: float | None = None
+        for rank, mtton in enumerate(mttons, 1):
+            if first_ms is None:
+                first_ms = (time.perf_counter() - self._started) * 1000.0
+            yield "result", self._service._mtton_payload(rank, mtton)
+        yield "done", self._summary(result, True, first_ms)
+
+
 class _Handler(BaseHTTPRequestHandler):
     """Routes HTTP requests onto the owning server's QueryService."""
 
@@ -819,7 +1174,7 @@ class _Handler(BaseHTTPRequestHandler):
     def do_POST(self) -> None:  # noqa: N802
         parsed = urlparse(self.path)
         if parsed.path == "/search":
-            self._handle("search", self._search)
+            self._search_route()
         elif parsed.path == "/documents":
             self._handle("insert_document", self._insert_document)
         else:
@@ -847,8 +1202,32 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(404, {"error": f"unknown path {parsed.path!r}"})
 
     # ------------------------------------------------------------------
-    def _search(self) -> dict:
-        body = self._read_body()
+    def _search_route(self) -> None:
+        """Dispatch ``POST /search`` to buffered JSON or SSE streaming.
+
+        Streaming is opted into per request with ``"stream": true`` in
+        the body or an ``Accept: text/event-stream`` header.
+        """
+        started = time.perf_counter()
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            self.service.observe_request(
+                "search", 400, time.perf_counter() - started
+            )
+            return
+        accept = self.headers.get("Accept") or ""
+        if bool(body.get("stream")) or "text/event-stream" in accept:
+            self._handle_search_stream(body, started)
+        else:
+            self._handle(
+                "search",
+                lambda: self.service.search(**self._search_kwargs(body)),
+            )
+
+    @staticmethod
+    def _search_kwargs(body: dict) -> dict:
         keywords = body.get("keywords")
         if keywords is None and "q" in body:
             keywords = str(body["q"]).split()
@@ -856,13 +1235,86 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError('body needs "keywords": [..] or "q": "a b"')
         deadline = body.get("deadline")
         backend = body.get("backend")
-        return self.service.search(
-            [str(k) for k in keywords],
-            k=body.get("k"),
-            max_size=int(body.get("max_size", 8)),
-            all_results=bool(body.get("all", False)),
-            deadline=float(deadline) if deadline is not None else None,
-            backend=str(backend) if backend is not None else None,
+        return {
+            "keywords": [str(k) for k in keywords],
+            "k": body.get("k"),
+            "max_size": int(body.get("max_size", 8)),
+            "all_results": bool(body.get("all", False)),
+            "deadline": float(deadline) if deadline is not None else None,
+            "backend": str(backend) if backend is not None else None,
+        }
+
+    def _handle_search_stream(self, body: dict, started: float) -> None:
+        """Answer one ``/search`` as Server-Sent Events over chunked HTTP.
+
+        The response is only committed (200 + headers) once the session
+        exists — shed/validation failures still answer plain JSON
+        errors.  Mid-stream failures become a final ``event: error``;
+        the terminating zero chunk is always written on a healthy
+        socket, so HTTP/1.1 keep-alive survives and ``/expand`` can be
+        issued over the same connection.
+        """
+        status = 200
+        try:
+            session = self.service.search_stream(**self._search_kwargs(body))
+        except RejectedError as exc:
+            self.service.count_shed()
+            self._send_json(
+                503,
+                {"error": str(exc), "retry_after": exc.retry_after},
+                extra_headers={"Retry-After": f"{exc.retry_after:.1f}"},
+            )
+            self.service.observe_request(
+                "search_stream", 503, time.perf_counter() - started
+            )
+            return
+        except ValueError as exc:
+            self._send_json(400, {"error": str(exc)})
+            self.service.observe_request(
+                "search_stream", 400, time.perf_counter() - started
+            )
+            return
+        events = session.events()
+        try:
+            self.send_response(200)
+            self.send_header("Content-Type", "text/event-stream")
+            self.send_header("Cache-Control", "no-store")
+            self.send_header("Transfer-Encoding", "chunked")
+            self.end_headers()
+            try:
+                for name, payload in events:
+                    self._write_chunk(
+                        f"event: {name}\ndata: {json.dumps(payload)}\n\n".encode()
+                    )
+            except DeadlineExceededError as exc:
+                status = 504
+                self.service.count_deadline_exceeded()
+                self._write_event_error(str(exc))
+            except Exception as exc:
+                status = 500
+                self._write_event_error(f"{type(exc).__name__}: {exc}")
+            self._write_chunk(b"")  # terminating chunk: keep-alive survives
+        except (BrokenPipeError, ConnectionResetError):
+            # Client went away mid-stream: detach from the shared flight
+            # (the last consumer's departure cancels the execution).
+            status = 499
+            self.close_connection = True
+        finally:
+            events.close()
+            session.close()
+            self.service.observe_request(
+                "search_stream", status, time.perf_counter() - started
+            )
+
+    def _write_chunk(self, data: bytes) -> None:
+        """Write one HTTP/1.1 chunked-transfer frame (empty = final)."""
+        self.wfile.write(f"{len(data):X}\r\n".encode() + data + b"\r\n")
+        self.wfile.flush()
+
+    def _write_event_error(self, message: str) -> None:
+        """Emit a terminal SSE ``error`` event inside the open stream."""
+        self._write_chunk(
+            f"event: error\ndata: {json.dumps({'error': message})}\n\n".encode()
         )
 
     def _insert_document(self) -> dict:

@@ -90,13 +90,17 @@ class ShardedXKeyword(XKeyword):
         trace,
         metrics: ExecutionMetrics,
         lookup_cache,
+        emitter=None,
     ) -> list[MTTON]:
         """Ship the query to the pool; gather, rematerialize, and account.
 
         Replaces the thread-per-shard scatter of the base engine.  The
         trace keeps the same scattered shape (``cn`` spans annotated
         ``scattered_across``, one ``shard`` span per shard) with
-        ``worker="process"`` marking the dispatch mode.
+        ``worker="process"`` marking the dispatch mode.  The streaming
+        ``emitter`` is accepted but unused: workers only report results
+        at gather time, so streamed runs fall back to bulk publication
+        when the search completes (documented on the base method).
         """
         shard_count = self.shards
         for _, _, cn_span in planned:

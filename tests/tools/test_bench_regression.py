@@ -75,6 +75,54 @@ class TestCompare:
         assert regressions == []
         assert any("fig/extra" in line and "NEW" in line for line in lines)
 
+    def test_baseline_entry_without_value_fails_readably(self, gate):
+        """A malformed baseline entry produces a named failure line,
+        not a KeyError traceback."""
+        base = {**BASE, "fig/broken": {"better": "lower"}}
+        lines, regressions = gate.compare(base, base, 0.25)
+        assert any("fig/broken" in item and "value" in item for item in regressions)
+        assert any("fig/broken" in line for line in lines)
+
+    def test_report_entry_without_value_fails_readably(self, gate):
+        report = {**BASE, "fig/latency": {"better": "lower"}}
+        _, regressions = gate.compare(BASE, report, 0.25)
+        assert len(regressions) == 1
+        assert "fig/latency" in regressions[0]
+        assert "value" in regressions[0]
+
+    def test_new_metric_without_value_does_not_crash(self, gate):
+        report = {**BASE, "fig/extra": {"better": "lower"}}
+        lines, regressions = gate.compare(BASE, report, 0.25)
+        assert regressions == []
+        assert any("fig/extra" in line and "NO VALUE" in line for line in lines)
+
+
+class TestDirectionDefaults:
+    def test_explicit_better_wins(self, gate):
+        entry = {"value": 1.0, "better": "higher"}
+        assert gate.direction_for("streaming/first_result_ms", entry) == "higher"
+
+    def test_streaming_first_result_defaults_lower(self, gate):
+        assert gate.direction_for("streaming/first_result_ms", {}) == "lower"
+
+    def test_streaming_speedup_defaults_higher(self, gate):
+        assert gate.direction_for("streaming/first_vs_full_speedup", {}) == "higher"
+
+    def test_unknown_prefix_defaults_lower(self, gate):
+        assert gate.direction_for("fig15a/top01/XKeyword", {}) == "lower"
+
+    def test_compare_uses_prefix_default_when_better_missing(self, gate):
+        # A higher-is-better streaming speedup that *improves* must pass
+        # even when the baseline entry forgot its "better" field.
+        base = {"streaming/first_vs_full_speedup": {"value": 1.5}}
+        report = {"streaming/first_vs_full_speedup": {"value": 3.0}}
+        _, regressions = gate.compare(base, report, 0.25)
+        assert regressions == []
+        # ... and a drop past tolerance fails.
+        report = {"streaming/first_vs_full_speedup": {"value": 0.9}}
+        _, regressions = gate.compare(base, report, 0.25)
+        assert len(regressions) == 1
+
 
 class TestMain:
     def test_exit_zero_when_within_tolerance(self, gate, tmp_path):

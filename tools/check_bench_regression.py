@@ -42,6 +42,27 @@ DEFAULT_REPORT = REPO_ROOT / "BENCH_report.json"
 DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "baselines" / "BENCH_baseline.json"
 DEFAULT_TOLERANCE = 0.25
 
+# Improvement direction by metric-name prefix, consulted when an entry
+# carries no explicit ``better`` field (e.g. a baseline hand-merged from
+# an older report).  First match wins; anything unmatched defaults to
+# ``lower`` (latencies dominate the report).
+DEFAULT_DIRECTIONS: tuple[tuple[str, str], ...] = (
+    ("streaming/first_result", "lower"),
+    ("streaming/full_query", "lower"),
+    ("streaming/first_vs_full", "higher"),
+)
+
+
+def direction_for(name: str, entry: dict) -> str:
+    """The improvement direction for one metric entry."""
+    better = entry.get("better")
+    if better:
+        return better
+    for prefix, default in DEFAULT_DIRECTIONS:
+        if name.startswith(prefix):
+            return default
+    return "lower"
+
 
 def load_metrics(path: Path) -> dict[str, dict]:
     """Read the ``metrics`` mapping out of one report file."""
@@ -62,12 +83,26 @@ def compare(
     regressions: list[str] = []
     width = max((len(name) for name in baseline), default=10)
     for name in sorted(baseline):
+        if "value" not in baseline[name]:
+            regressions.append(
+                f"{name}: baseline entry has no 'value' key — the baseline "
+                "file is malformed; regenerate it with --update-baseline"
+            )
+            lines.append(f"  {name.ljust(width)}  {'NO VALUE':>10}")
+            continue
         base = float(baseline[name]["value"])
-        better = baseline[name].get("better", "lower")
+        better = direction_for(name, baseline[name])
         entry = report.get(name)
         if entry is None:
             regressions.append(f"{name}: present in baseline, missing from report")
             lines.append(f"  {name.ljust(width)}  {base:10.2f}  {'MISSING':>10}")
+            continue
+        if "value" not in entry:
+            regressions.append(
+                f"{name}: report entry has no 'value' key — rerun "
+                "'python benchmarks/run_report.py --json'"
+            )
+            lines.append(f"  {name.ljust(width)}  {base:10.2f}  {'NO VALUE':>10}")
             continue
         new = float(entry["value"])
         delta = (new - base) / base if base else 0.0
@@ -86,10 +121,9 @@ def compare(
                 f"better={better}, tolerance={tolerance:.0%})"
             )
     for name in sorted(set(report) - set(baseline)):
-        lines.append(
-            f"  {name.ljust(width)}  {'NEW':>10}  "
-            f"{float(report[name]['value']):10.2f}"
-        )
+        value = report[name].get("value")
+        shown = f"{float(value):10.2f}" if value is not None else f"{'NO VALUE':>10}"
+        lines.append(f"  {name.ljust(width)}  {'NEW':>10}  {shown}")
     return lines, regressions
 
 
